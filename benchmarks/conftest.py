@@ -1,0 +1,54 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+scale (see ``repro.experiments.config``), attaches the resulting rows to
+``benchmark.extra_info`` and prints them, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the series the paper reports alongside the timing data.
+Set ``REPRO_BENCH_SCALE=medium`` (or ``paper``) for larger runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import get_scale
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """Experiment scale used by all benchmarks (``REPRO_BENCH_SCALE`` env var)."""
+    return get_scale(os.environ.get("REPRO_BENCH_SCALE", "small"))
+
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def attach_rows(benchmark, rows, title):
+    """Store experiment rows on the benchmark record, print them and save them to disk.
+
+    The rendered tables are appended to ``benchmarks/results/<benchmark>.txt`` so the
+    regenerated series survive pytest's output capture.
+    """
+    from repro.experiments.reporting import format_table
+
+    if isinstance(rows, dict):
+        benchmark.extra_info.update(
+            {str(key): str(value) for key, value in rows.items() if not hasattr(value, "shape")}
+        )
+        printable = [{"metric": key, "value": value} for key, value in rows.items() if not hasattr(value, "shape")]
+        text = format_table(printable, title=title)
+    else:
+        benchmark.extra_info["rows"] = len(rows)
+        text = format_table(rows, title=title)
+    print("\n" + text)
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    name = getattr(benchmark, "name", None) or "benchmark"
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(text + "\n\n")

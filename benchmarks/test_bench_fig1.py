@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 1: converged particles satisfying the constraint."""
+
+from conftest import attach_rows
+
+from repro.experiments import fig1_particles
+
+
+def test_bench_fig1_particle_convergence(benchmark, bench_scale):
+    outcome = benchmark.pedantic(
+        fig1_particles.run, kwargs={"scale": bench_scale, "random_state": 7}, rounds=1, iterations=1
+    )
+    summary = {
+        "threshold": outcome["threshold"],
+        "num_particles": outcome["num_particles"],
+        "iterations": outcome["iterations"],
+        "surrogate_feasible_fraction": outcome["surrogate_feasible_fraction"],
+        "true_satisfied_fraction": outcome["true_satisfied_fraction"],
+        "num_proposals": outcome["num_proposals"],
+    }
+    attach_rows(benchmark, summary, "Figure 1 — particle convergence (paper: ~84% satisfy the true constraint)")
+    assert 0.0 <= outcome["true_satisfied_fraction"] <= 1.0

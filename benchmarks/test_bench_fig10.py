@@ -1,0 +1,23 @@
+"""Benchmark regenerating Figure 10: GSO mining time vs swarm size and iterations."""
+
+from conftest import attach_rows
+
+from repro.experiments import fig10_gso_cost
+
+
+def test_bench_fig10_gso_cost(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        fig10_gso_cost.run,
+        kwargs={
+            "scale": bench_scale,
+            "dims": (1, 2, 3),
+            "particle_counts": (50, 100, 200),
+            "iteration_counts": (50, 100, 200),
+            "random_state": 19,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    attach_rows(benchmark, rows, "Figure 10 — SuRF-GSO run time vs dimensionality, L and T")
+    particle_rows = [row for row in rows if row["sweep"] == "particles"]
+    assert max(row["seconds"] for row in particle_rows) < 120

@@ -1,0 +1,17 @@
+"""Benchmark regenerating Figure 11: surrogate quality (IoU↔RMSE, learning curves)."""
+
+from conftest import attach_rows
+
+from repro.experiments import fig11_surrogate_quality
+
+
+def test_bench_fig11_surrogate_quality(benchmark, bench_scale):
+    outcome = benchmark.pedantic(
+        fig11_surrogate_quality.run, kwargs={"scale": bench_scale, "random_state": 23}, rounds=1, iterations=1
+    )
+    correlation = outcome["correlation"]
+    attach_rows(benchmark, correlation["rows"], "Figure 11 (left) — IoU vs surrogate RMSE")
+    print(f"\nPearson correlation (paper: ≈ -0.57): {correlation['pearson_correlation']:.2f}")
+    print()
+    attach_rows(benchmark, outcome["learning_curves"], "Figure 11 (right) — RMSE vs number of training examples")
+    assert -1.0 <= correlation["pearson_correlation"] <= 1.0

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 12: RMSE and IoU vs surrogate model complexity."""
+
+from conftest import attach_rows
+
+from repro.experiments import fig12_model_complexity
+
+
+def test_bench_fig12_model_complexity(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        fig12_model_complexity.run,
+        kwargs={"scale": bench_scale, "max_depths": (1, 2, 4, 6, 8), "random_state": 31},
+        rounds=1,
+        iterations=1,
+    )
+    attach_rows(benchmark, rows, "Figure 12 — RMSE and IoU vs tree depth")
+    shallow = next(row for row in rows if row["max_depth"] == 1)
+    deep = next(row for row in rows if row["max_depth"] == 8)
+    assert deep["train_rmse"] <= shallow["train_rmse"]

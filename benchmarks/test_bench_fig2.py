@@ -1,0 +1,35 @@
+"""Benchmark regenerating Figure 2: the synthetic ground-truth datasets."""
+
+from conftest import attach_rows
+
+from repro.data.engine import DataEngine
+from repro.data.synthetic import make_benchmark_suite
+
+
+def test_bench_fig2_synthetic_datasets(benchmark, bench_scale):
+    suite = benchmark.pedantic(
+        make_benchmark_suite,
+        kwargs={
+            "dims": (1, 2),
+            "region_counts": (1, 3),
+            "num_points": bench_scale.num_points,
+            "random_state": 7,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for synthetic in suite:
+        engine = DataEngine(synthetic.dataset, synthetic.statistic)
+        rows.append(
+            {
+                "statistic": synthetic.config.statistic,
+                "dim": synthetic.config.dim,
+                "k": synthetic.config.num_regions,
+                "num_points": synthetic.dataset.num_rows,
+                "weakest_gt_statistic": min(gt.statistic_value for gt in synthetic.ground_truth),
+                "suggested_threshold": synthetic.suggested_threshold(),
+            }
+        )
+    attach_rows(benchmark, rows, "Figure 2 — planted ground-truth datasets")
+    assert len(suite) == 8

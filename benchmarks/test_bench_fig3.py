@@ -1,0 +1,26 @@
+"""Benchmark regenerating Figure 3: average IoU per method, dimensionality, statistic and k."""
+
+from conftest import attach_rows
+
+from repro.experiments import fig3_accuracy
+from repro.experiments.reporting import summarize_rows
+
+
+def test_bench_fig3_accuracy_comparison(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        fig3_accuracy.run,
+        kwargs={
+            "scale": bench_scale,
+            "dims": (1, 2, 3),
+            "region_counts": (1, 3),
+            "statistics": ("aggregate", "density"),
+            "random_state": 11,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    attach_rows(benchmark, rows, "Figure 3 — average IoU per (statistic, d, k, method)")
+    print()
+    summary = summarize_rows(rows, group_by=("method", "statistic"), value="iou")
+    attach_rows(benchmark, summary, "Figure 3 summary — mean IoU per method and statistic")
+    assert {row["method"] for row in rows} == {"SuRF", "Naive", "PRIM", "f+GlowWorm"}

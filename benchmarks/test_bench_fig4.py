@@ -1,0 +1,24 @@
+"""Benchmark regenerating Figure 4: IoU aggregated by number of regions and statistic type."""
+
+from conftest import attach_rows
+
+from repro.experiments import fig4_aggregates
+
+
+def test_bench_fig4_aggregated_iou(benchmark, bench_scale):
+    outcome = benchmark.pedantic(
+        fig4_aggregates.run,
+        kwargs={
+            "scale": bench_scale,
+            "dims": (1, 2),
+            "region_counts": (1, 3),
+            "statistics": ("aggregate", "density"),
+            "random_state": 11,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    attach_rows(benchmark, outcome["by_regions"], "Figure 4 (left) — mean IoU per method and k")
+    print()
+    attach_rows(benchmark, outcome["by_statistic"], "Figure 4 (right) — mean IoU per method and statistic")
+    assert outcome["by_regions"] and outcome["by_statistic"]

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 5: the Crimes qualitative analysis."""
+
+from conftest import attach_rows
+
+from repro.experiments import fig5_crimes
+
+
+def test_bench_fig5_crimes_qualitative(benchmark, bench_scale):
+    outcome = benchmark.pedantic(
+        fig5_crimes.run, kwargs={"scale": bench_scale, "random_state": 5}, rounds=1, iterations=1
+    )
+    attach_rows(benchmark, outcome, "Figure 5 — Crimes-like Q3 query (paper: 100% of proposals comply)")
+    assert outcome["num_proposals"] >= 1
+    assert outcome["compliance"] >= 0.5

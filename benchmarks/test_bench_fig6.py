@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 6: surrogate training overhead vs workload size."""
+
+from conftest import attach_rows
+
+from repro.experiments import fig6_training
+
+
+def test_bench_fig6_training_overhead(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        fig6_training.run,
+        kwargs={"scale": bench_scale, "workload_sizes": (200, 500, 1_000), "random_state": 3},
+        rounds=1,
+        iterations=1,
+    )
+    attach_rows(benchmark, rows, "Figure 6 — training time with and without grid-search hyper-tuning")
+    tuned = [row for row in rows if row["hypertuned"]]
+    plain = [row for row in rows if not row["hypertuned"]]
+    assert max(row["training_seconds"] for row in tuned) > max(row["training_seconds"] for row in plain)

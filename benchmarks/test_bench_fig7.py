@@ -1,0 +1,17 @@
+"""Benchmark regenerating Figure 7: log objective (Eq. 4) vs ratio objective (Eq. 2)."""
+
+from conftest import attach_rows
+
+from repro.experiments import fig7_objectives
+
+
+def test_bench_fig7_objective_landscapes(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        fig7_objectives.run,
+        kwargs={"scale": bench_scale, "c_values": (1.0, 2.0, 3.0, 4.0), "random_state": 9},
+        rounds=1,
+        iterations=1,
+    )
+    attach_rows(benchmark, rows, "Figure 7 — objective landscapes across c (defined fraction of the grid)")
+    log_rows = [row for row in rows if row["objective"] == "log"]
+    assert all(row["defined_fraction"] < 1.0 for row in log_rows)

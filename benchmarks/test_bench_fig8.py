@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 8: sensitivity of the size-regularisation parameter c."""
+
+from conftest import attach_rows
+
+from repro.experiments import fig8_c_sensitivity
+
+
+def test_bench_fig8_c_sensitivity(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        fig8_c_sensitivity.run,
+        kwargs={"scale": bench_scale, "c_values": (0.25, 0.5, 0.75, 1.0, 1.5, 2.0), "random_state": 13},
+        rounds=1,
+        iterations=1,
+    )
+    attach_rows(benchmark, rows, "Figure 8 — fraction of viable solutions near the peak vs c")
+    assert all(0.0 <= row["viable_fraction"] <= 1.0 for row in rows)

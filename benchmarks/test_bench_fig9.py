@@ -1,0 +1,22 @@
+"""Benchmark regenerating Figure 9: GSO convergence across dimensionality and k."""
+
+from conftest import attach_rows
+
+from repro.experiments import fig9_convergence
+
+
+def test_bench_fig9_convergence(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        fig9_convergence.run,
+        kwargs={"scale": bench_scale, "dims": (1, 2, 3), "region_counts": (1, 3), "random_state": 17},
+        rounds=1,
+        iterations=1,
+    )
+    printable = [
+        {key: row[key] for key in ("dim", "solution_dim", "k", "num_particles", "iterations", "converged", "final_mean_objective")}
+        for row in rows
+    ]
+    attach_rows(benchmark, printable, "Figure 9 — iterations to convergence (paper: ~63 on average)")
+    average = fig9_convergence.average_iterations(rows)
+    print(f"\naverage iterations to convergence: {average:.1f}")
+    assert average > 0

@@ -1,0 +1,91 @@
+"""Micro-benchmarks of the core primitives (repeated-measurement pytest-benchmark runs).
+
+Unlike the per-figure benchmarks (which run a whole experiment once), these
+time the hot operations SuRF relies on: exact back-end evaluation, surrogate
+prediction, KDE region mass and one swarm iteration's worth of fitness calls.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.query import RegionQuery
+from repro.data.engine import DataEngine
+from repro.data.regions import Region
+from repro.data.synthetic import make_synthetic_dataset
+from repro.density.region_mass import RegionMassEstimator
+from repro.surrogate.training import SurrogateTrainer
+from repro.surrogate.workload import generate_workload
+from repro.ml.boosting import GradientBoostingRegressor
+
+
+@pytest.fixture(scope="module")
+def prepared(bench_scale_module):
+    scale = bench_scale_module
+    synthetic = make_synthetic_dataset(
+        statistic="density", dim=2, num_regions=1, num_points=scale.num_points, random_state=0
+    )
+    engine = DataEngine(synthetic.dataset, synthetic.statistic)
+    workload = generate_workload(engine, 2 * scale.workload_size, random_state=0)
+    trainer = SurrogateTrainer(
+        estimator=GradientBoostingRegressor(n_estimators=80, max_depth=5, random_state=0), random_state=0
+    )
+    surrogate = trainer.train(workload)
+    density = RegionMassEstimator(method="kde", random_state=0).fit(
+        synthetic.dataset.sample(min(1_000, synthetic.dataset.num_rows), random_state=0).values
+    )
+    probe = synthetic.ground_truth[0].region
+    batch = np.tile(probe.to_vector(), (100, 1))
+    return engine, surrogate, density, probe, batch
+
+
+@pytest.fixture(scope="module")
+def bench_scale_module():
+    import os
+
+    from repro.experiments.config import get_scale
+
+    return get_scale(os.environ.get("REPRO_BENCH_SCALE", "small"))
+
+
+def test_bench_exact_engine_evaluation(benchmark, prepared):
+    engine, _, _, probe, _ = prepared
+    result = benchmark(engine.evaluate, probe)
+    assert result > 0
+
+
+def test_bench_surrogate_single_prediction(benchmark, prepared):
+    _, surrogate, _, probe, _ = prepared
+    result = benchmark(surrogate.predict_region, probe)
+    assert result > 0
+
+
+def test_bench_surrogate_batch_prediction(benchmark, prepared):
+    _, surrogate, _, _, batch = prepared
+    result = benchmark(surrogate.predict, batch)
+    assert result.shape == (100,)
+
+
+def test_bench_kde_region_mass_batch(benchmark, prepared):
+    _, _, density, _, batch = prepared
+    result = benchmark(density.mass_of_vectors, batch)
+    assert result.shape == (100,)
+
+
+def test_bench_full_query_end_to_end(benchmark, prepared, bench_scale_module):
+    engine, surrogate, density, probe, _ = prepared
+    from repro.core.finder import SuRF
+    from repro.optim.gso import GSOParameters
+
+    scale = bench_scale_module
+    finder = SuRF(
+        gso_parameters=GSOParameters(
+            num_particles=scale.num_particles, num_iterations=scale.num_iterations, random_state=0
+        ),
+        random_state=0,
+    )
+    workload = generate_workload(engine, scale.workload_size, random_state=1)
+    finder.fit(workload, data_sample=engine.dataset.sample(500, random_state=0).values)
+    query = RegionQuery(threshold=engine.evaluate(probe) * 0.8, direction="above")
+
+    result = benchmark.pedantic(finder.find_regions, args=(query,), rounds=2, iterations=1)
+    assert result.optimization.num_iterations > 0

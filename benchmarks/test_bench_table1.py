@@ -1,0 +1,28 @@
+"""Benchmark regenerating Table I: run-time comparison across data size and dimensionality."""
+
+from conftest import attach_rows
+
+from repro.experiments import table1_scalability
+
+
+def test_bench_table1_scalability(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        table1_scalability.run,
+        kwargs={
+            "scale": bench_scale,
+            "data_sizes": (5_000, 20_000, 80_000),
+            "dims": (1, 2, 3),
+            "random_state": 37,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    attach_rows(benchmark, rows, "Table I — wall-clock seconds per method, dimensionality and data size")
+    print()
+    attach_rows(
+        benchmark,
+        table1_scalability.speedup_summary(rows),
+        "Table I summary — SuRF speed-up at the largest measured setting (paper: ≥150× over the best competitor at 10^7 rows)",
+    )
+    surf_rows = [row for row in rows if row["method"] == "SuRF"]
+    assert max(row["seconds"] for row in surf_rows) < 300

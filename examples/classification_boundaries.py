@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Classification-boundary discovery — the paper's high-dimensional use case.
+
+In the introduction the paper motivates finding "regions with a high ratio of
+certain classes, which implicitly suggest classification boundaries".  This
+example builds a labelled 4-dimensional dataset with two class-pure pockets,
+asks SuRF for regions where the ratio of the positive class exceeds 80 %, and
+then shows how those regions can be used directly as an interpretable
+rule-based baseline classifier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import RegionQuery, SuRF
+from repro.data import DataEngine, Dataset
+from repro.data.statistics import RatioStatistic
+from repro.experiments.reporting import format_table
+from repro.surrogate.workload import generate_workload
+
+
+def build_labelled_dataset(num_points: int = 12_000, random_state: int = 17) -> Dataset:
+    """Features in [0,1]^4 with two pockets where the positive class dominates."""
+    rng = np.random.default_rng(random_state)
+    features = rng.uniform(size=(num_points, 4))
+    labels = np.zeros(num_points)
+    pockets = [np.array([0.25, 0.25, 0.5, 0.5]), np.array([0.75, 0.7, 0.4, 0.6])]
+    for center in pockets:
+        inside = np.all(np.abs(features - center) <= 0.12, axis=1)
+        labels[inside] = (rng.uniform(size=int(inside.sum())) < 0.9).astype(float)
+    # Sparse background positives.
+    background = rng.uniform(size=num_points) < 0.03
+    labels[background] = 1.0
+    return Dataset(np.column_stack([features, labels]), ["f1", "f2", "f3", "f4", "label"])
+
+
+def main() -> None:
+    dataset = build_labelled_dataset()
+    statistic = RatioStatistic("label", positive_value=1.0)
+    engine = DataEngine(dataset, statistic)
+    positive_rate = float(np.mean(dataset.column("label") == 1.0))
+    print(f"points: {dataset.num_rows}, overall positive rate: {positive_rate:.1%}")
+
+    finder = SuRF(use_density_guidance=False, random_state=4)
+    workload = generate_workload(engine, num_evaluations=4_000, random_state=4)
+    finder.fit(workload)
+
+    query = RegionQuery(threshold=0.8, direction="above", size_penalty=2.0)
+    result = finder.find_regions(query, max_proposals=4)
+
+    rows = []
+    for proposal in result.proposals:
+        true_ratio = engine.evaluate(proposal.region)
+        support = engine.support(proposal.region)
+        rows.append(
+            {
+                "f1": f"[{proposal.region.lower[0]:.2f}, {proposal.region.upper[0]:.2f}]",
+                "f2": f"[{proposal.region.lower[1]:.2f}, {proposal.region.upper[1]:.2f}]",
+                "f3": f"[{proposal.region.lower[2]:.2f}, {proposal.region.upper[2]:.2f}]",
+                "f4": f"[{proposal.region.lower[3]:.2f}, {proposal.region.upper[3]:.2f}]",
+                "true_ratio": true_ratio,
+                "points_covered": support,
+            }
+        )
+    if not rows:
+        print("no regions above the requested class ratio were found")
+        return
+    print(format_table(rows, title="\nclass-pure regions (candidate classification rules)"))
+
+    # Use the mined regions as a rule-based classifier: predict positive inside any region.
+    features = dataset.select_columns(["f1", "f2", "f3", "f4"]).values
+    labels = dataset.column("label")
+    predicted = np.zeros(dataset.num_rows, dtype=bool)
+    for proposal in result.proposals:
+        predicted |= proposal.region.contains_points(features)
+    true_positive = np.sum(predicted & (labels == 1.0))
+    precision = true_positive / max(predicted.sum(), 1)
+    recall = true_positive / max((labels == 1.0).sum(), 1)
+    print(f"\nrule-based classifier from mined regions: precision {precision:.2f}, recall {recall:.2f}")
+    print("(high precision / modest recall is expected: the rules only cover the dense pockets)")
+
+
+if __name__ == "__main__":
+    main()

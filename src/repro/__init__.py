@@ -1,0 +1,54 @@
+"""SuRF — SUrrogate Region Finder (ICDE 2020) reproduction.
+
+The public API re-exports the pieces most users need:
+
+* :class:`repro.SuRF` — the surrogate-model + glowworm-swarm region finder,
+* :class:`repro.RegionQuery` / :class:`repro.Region` — queries and results,
+* the data substrate (:mod:`repro.data`), surrogate layer
+  (:mod:`repro.surrogate`), baselines (:mod:`repro.baselines`) and the
+  experiment runners reproducing each table/figure (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import SuRF, RegionQuery
+    from repro.data import DataEngine, CountStatistic, make_crimes_like
+
+    crimes = make_crimes_like(num_points=20_000, random_state=0)
+    engine = DataEngine(crimes, CountStatistic())
+    finder = SuRF.from_engine(engine, num_evaluations=2_000, random_state=0)
+    result = finder.find_regions(RegionQuery(threshold=500, direction="above"))
+    for proposal in result.proposals:
+        print(proposal.region, proposal.predicted_value)
+"""
+
+from repro.core.evaluation import average_iou, compliance_rate
+from repro.core.finder import RegionSearchResult, SuRF
+from repro.core.objective import LogObjective, RatioObjective
+from repro.core.postprocess import RegionProposal
+from repro.core.query import RegionQuery, SolutionSpace
+from repro.data.dataset import Dataset
+from repro.data.engine import DataEngine
+from repro.data.regions import Region
+from repro.surrogate.training import SurrogateTrainer
+from repro.surrogate.workload import RegionWorkload, generate_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SuRF",
+    "RegionSearchResult",
+    "RegionQuery",
+    "SolutionSpace",
+    "RegionProposal",
+    "Region",
+    "Dataset",
+    "DataEngine",
+    "RegionWorkload",
+    "generate_workload",
+    "SurrogateTrainer",
+    "LogObjective",
+    "RatioObjective",
+    "average_iou",
+    "compliance_rate",
+    "__version__",
+]

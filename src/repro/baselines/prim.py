@@ -1,0 +1,220 @@
+"""PRIM — the Patient Rule Induction Method (Friedman & Fisher, 1999).
+
+PRIM greedily *peels* small slivers off a bounding box, each time removing the
+sliver whose removal maximises the mean response of the remaining points,
+until the box's support drops to a minimum mass.  A *pasting* pass then tries
+to re-grow the box, and a *covering* loop removes the found box's points and
+repeats to discover further boxes.
+
+PRIM maximises the mean of a response attribute; it has no notion of point
+density or box volume, which is why the paper finds it competitive on the
+aggregate statistic but unable to locate density-defined regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.postprocess import RegionProposal
+from repro.data.regions import Region
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_array, check_same_length
+
+
+@dataclass(frozen=True)
+class PrimBox:
+    """A box found by PRIM: its bounds, mean response, support and mass."""
+
+    lower: np.ndarray
+    upper: np.ndarray
+    mean_response: float
+    support: int
+    mass: float
+
+    def to_region(self) -> Region:
+        """Convert the box to a :class:`Region` (degenerate sides get a tiny width)."""
+        lower = np.asarray(self.lower, dtype=np.float64)
+        upper = np.asarray(self.upper, dtype=np.float64)
+        upper = np.where(upper - lower <= 1e-12, lower + 1e-6, upper)
+        return Region.from_bounds(lower, upper)
+
+    def to_proposal(self) -> RegionProposal:
+        """Convert the box to a :class:`RegionProposal` (objective = mean response)."""
+        return RegionProposal(
+            region=self.to_region(),
+            predicted_value=self.mean_response,
+            objective_value=self.mean_response,
+            support=self.support,
+        )
+
+
+class PRIM:
+    """Patient Rule Induction Method for bump hunting.
+
+    Parameters
+    ----------
+    peel_alpha:
+        Fraction of the current box's points peeled off per step (0.05 is the
+        classic default).
+    paste_alpha:
+        Fraction of points considered when re-expanding a face during pasting.
+    mass_min:
+        Minimum box mass (support divided by the full dataset size) — ``β0`` in
+        the paper, set to 0.01 in its experiments.
+    threshold:
+        Stop the covering loop once a new box's mean response falls below this
+        value (the paper uses 2 for the aggregate statistic).  ``None`` keeps
+        covering until ``max_boxes`` or the data is exhausted.
+    max_boxes:
+        Maximum number of boxes returned by the covering loop.
+    """
+
+    def __init__(
+        self,
+        peel_alpha: float = 0.05,
+        paste_alpha: float = 0.01,
+        mass_min: float = 0.01,
+        threshold: Optional[float] = None,
+        max_boxes: int = 5,
+    ):
+        if not 0 < peel_alpha < 0.5:
+            raise ValidationError(f"peel_alpha must be in (0, 0.5), got {peel_alpha}")
+        if not 0 < paste_alpha < 0.5:
+            raise ValidationError(f"paste_alpha must be in (0, 0.5), got {paste_alpha}")
+        if not 0 < mass_min < 1:
+            raise ValidationError(f"mass_min must be in (0, 1), got {mass_min}")
+        if max_boxes < 1:
+            raise ValidationError(f"max_boxes must be >= 1, got {max_boxes}")
+        self.peel_alpha = float(peel_alpha)
+        self.paste_alpha = float(paste_alpha)
+        self.mass_min = float(mass_min)
+        self.threshold = threshold
+        self.max_boxes = int(max_boxes)
+
+    # ------------------------------------------------------------------ peeling / pasting
+    def _peel(self, points: np.ndarray, response: np.ndarray, total_size: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Peel the current box down until its mass reaches ``mass_min``."""
+        lower = points.min(axis=0).astype(np.float64)
+        upper = points.max(axis=0).astype(np.float64)
+        mask = np.ones(points.shape[0], dtype=bool)
+        min_support = max(1, int(np.ceil(self.mass_min * total_size)))
+
+        while mask.sum() > min_support:
+            inside_points = points[mask]
+            inside_response = response[mask]
+            best_mean = -np.inf
+            best_update = None
+            for axis in range(points.shape[1]):
+                column = inside_points[:, axis]
+                low_cut = np.quantile(column, self.peel_alpha)
+                high_cut = np.quantile(column, 1.0 - self.peel_alpha)
+                keep_low = column > low_cut
+                keep_high = column < high_cut
+                for keep, bound, value in (
+                    (keep_low, "lower", low_cut),
+                    (keep_high, "upper", high_cut),
+                ):
+                    kept = int(keep.sum())
+                    if kept < min_support or kept == column.size:
+                        continue
+                    mean = float(inside_response[keep].mean())
+                    if mean > best_mean:
+                        best_mean = mean
+                        best_update = (axis, bound, float(value))
+            if best_update is None:
+                break
+            axis, bound, value = best_update
+            if bound == "lower":
+                lower[axis] = value
+                mask &= points[:, axis] > value
+            else:
+                upper[axis] = value
+                mask &= points[:, axis] < value
+        return lower, upper
+
+    def _paste(
+        self,
+        points: np.ndarray,
+        response: np.ndarray,
+        lower: np.ndarray,
+        upper: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Greedily re-expand box faces while the mean response improves."""
+        lower = lower.copy()
+        upper = upper.copy()
+        extent = points.max(axis=0) - points.min(axis=0)
+        step = self.paste_alpha * np.maximum(extent, 1e-12)
+
+        def box_mean(low: np.ndarray, up: np.ndarray) -> Tuple[float, int]:
+            inside = np.all((points >= low) & (points <= up), axis=1)
+            count = int(inside.sum())
+            if count == 0:
+                return -np.inf, 0
+            return float(response[inside].mean()), count
+
+        current_mean, _ = box_mean(lower, upper)
+        improved = True
+        iterations = 0
+        while improved and iterations < 100:
+            improved = False
+            iterations += 1
+            for axis in range(points.shape[1]):
+                for direction in (-1, 1):
+                    low_try = lower.copy()
+                    up_try = upper.copy()
+                    if direction < 0:
+                        low_try[axis] -= step[axis]
+                    else:
+                        up_try[axis] += step[axis]
+                    mean, count = box_mean(low_try, up_try)
+                    if mean > current_mean and count > 0:
+                        lower, upper = low_try, up_try
+                        current_mean = mean
+                        improved = True
+        return lower, upper
+
+    # ------------------------------------------------------------------ public API
+    def find_boxes(self, points, response) -> List[PrimBox]:
+        """Run the peel/paste/cover loop and return the discovered boxes."""
+        points = check_array(points, name="points", ndim=2)
+        response = check_array(response, name="response", ndim=1)
+        check_same_length(points, response, names=("points", "response"))
+        total_size = points.shape[0]
+        min_support = max(1, int(np.ceil(self.mass_min * total_size)))
+
+        remaining = np.ones(total_size, dtype=bool)
+        boxes: List[PrimBox] = []
+        while remaining.sum() >= max(2 * min_support, 10) and len(boxes) < self.max_boxes:
+            active_points = points[remaining]
+            active_response = response[remaining]
+            lower, upper = self._peel(active_points, active_response, total_size)
+            lower, upper = self._paste(active_points, active_response, lower, upper)
+
+            inside_active = np.all((active_points >= lower) & (active_points <= upper), axis=1)
+            support = int(inside_active.sum())
+            if support == 0:
+                break
+            mean_response = float(active_response[inside_active].mean())
+            if self.threshold is not None and mean_response < self.threshold:
+                break
+            boxes.append(
+                PrimBox(
+                    lower=lower,
+                    upper=upper,
+                    mean_response=mean_response,
+                    support=support,
+                    mass=support / total_size,
+                )
+            )
+            # Covering: remove the box's points and look for the next bump.
+            inside_full = np.zeros(total_size, dtype=bool)
+            inside_full[np.flatnonzero(remaining)[inside_active]] = True
+            remaining &= ~inside_full
+        return boxes
+
+    def find_regions(self, points, response) -> List[RegionProposal]:
+        """Like :meth:`find_boxes` but returning :class:`RegionProposal` objects."""
+        return [box.to_proposal() for box in self.find_boxes(points, response)]

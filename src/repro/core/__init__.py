@@ -1,0 +1,22 @@
+"""SuRF core: threshold queries, objectives, the finder and evaluation metrics."""
+
+from repro.core.evaluation import average_iou, compliance_rate, match_to_ground_truth
+from repro.core.finder import RegionSearchResult, SuRF
+from repro.core.objective import LogObjective, RatioObjective, make_objective
+from repro.core.postprocess import RegionProposal, proposals_from_result
+from repro.core.query import RegionQuery, SolutionSpace
+
+__all__ = [
+    "SuRF",
+    "RegionSearchResult",
+    "RegionQuery",
+    "SolutionSpace",
+    "LogObjective",
+    "RatioObjective",
+    "make_objective",
+    "RegionProposal",
+    "proposals_from_result",
+    "average_iou",
+    "compliance_rate",
+    "match_to_ground_truth",
+]

@@ -1,0 +1,47 @@
+"""Data substrate: hyper-rectangular regions, datasets, statistics and the back-end engine.
+
+This package plays the role of the "back-end data/analytics system" from the
+paper: it stores data vectors, evaluates region statistics ``y = f(x, l)``
+exactly, and generates the synthetic and real-world-like datasets used in the
+evaluation section.
+"""
+
+from repro.data.dataset import Dataset
+from repro.data.engine import DataEngine
+from repro.data.index import GridIndex
+from repro.data.regions import Region, iou, rectangle_intersection_volume, rectangle_union_volume
+from repro.data.statistics import (
+    AverageStatistic,
+    CountStatistic,
+    MedianStatistic,
+    RatioStatistic,
+    StatisticSpec,
+    SumStatistic,
+    VarianceStatistic,
+    make_statistic,
+)
+from repro.data.synthetic import GroundTruthRegion, SyntheticConfig, make_synthetic_dataset
+from repro.data.real import make_activity_like, make_crimes_like
+
+__all__ = [
+    "Dataset",
+    "DataEngine",
+    "GridIndex",
+    "Region",
+    "iou",
+    "rectangle_intersection_volume",
+    "rectangle_union_volume",
+    "StatisticSpec",
+    "CountStatistic",
+    "AverageStatistic",
+    "SumStatistic",
+    "RatioStatistic",
+    "VarianceStatistic",
+    "MedianStatistic",
+    "make_statistic",
+    "GroundTruthRegion",
+    "SyntheticConfig",
+    "make_synthetic_dataset",
+    "make_crimes_like",
+    "make_activity_like",
+]

@@ -1,0 +1,163 @@
+"""Columnar in-memory dataset used as the library's storage substrate.
+
+The paper assumes an opaque "back-end data/analytics system" that can answer
+region statistics.  :class:`Dataset` is the storage half of that system: a
+named, columnar, numpy-backed table with a known bounding box.  The query half
+lives in :mod:`repro.data.engine`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.data.regions import Region, bounding_region
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_array
+
+
+class Dataset:
+    """An immutable columnar table of ``N`` data vectors in ``R^d``.
+
+    Parameters
+    ----------
+    values:
+        Array of shape ``(N, d)`` holding the data vectors.
+    column_names:
+        Optional names for the ``d`` columns; defaults to ``a1 .. ad`` as in the paper.
+    """
+
+    def __init__(self, values: np.ndarray, column_names: Optional[Sequence[str]] = None):
+        values = check_array(values, name="values", ndim=2)
+        if column_names is None:
+            column_names = [f"a{i + 1}" for i in range(values.shape[1])]
+        column_names = [str(name) for name in column_names]
+        if len(column_names) != values.shape[1]:
+            raise ValidationError(
+                f"expected {values.shape[1]} column names, got {len(column_names)}"
+            )
+        if len(set(column_names)) != len(column_names):
+            raise ValidationError("column names must be unique")
+        self._values = values
+        self._values.setflags(write=False)
+        self._column_names = list(column_names)
+        self._column_index: Dict[str, int] = {name: i for i, name in enumerate(column_names)}
+
+    # ------------------------------------------------------------------ basic accessors
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying read-only ``(N, d)`` array."""
+        return self._values
+
+    @property
+    def column_names(self) -> List[str]:
+        """Names of the ``d`` columns."""
+        return list(self._column_names)
+
+    @property
+    def num_rows(self) -> int:
+        """Number of data vectors ``N``."""
+        return self._values.shape[0]
+
+    @property
+    def num_columns(self) -> int:
+        """Dimensionality ``d`` of the data vectors."""
+        return self._values.shape[1]
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def column(self, name_or_index) -> np.ndarray:
+        """Return a single column by name or positional index."""
+        index = self.column_position(name_or_index)
+        return self._values[:, index]
+
+    def column_position(self, name_or_index) -> int:
+        """Resolve a column name or index into a positional index."""
+        if isinstance(name_or_index, str):
+            if name_or_index not in self._column_index:
+                raise ValidationError(
+                    f"unknown column {name_or_index!r}; available: {self._column_names}"
+                )
+            return self._column_index[name_or_index]
+        index = int(name_or_index)
+        if not 0 <= index < self.num_columns:
+            raise ValidationError(
+                f"column index {index} out of range for {self.num_columns} columns"
+            )
+        return index
+
+    # ------------------------------------------------------------------ derived datasets
+    def select_columns(self, names: Sequence) -> "Dataset":
+        """Project the dataset onto a subset of columns (in the given order)."""
+        positions = [self.column_position(name) for name in names]
+        return Dataset(
+            self._values[:, positions].copy(),
+            [self._column_names[pos] for pos in positions],
+        )
+
+    def sample(self, size: int, random_state=None, replace: bool = False) -> "Dataset":
+        """Return a uniformly sampled subset of ``size`` rows."""
+        if size <= 0:
+            raise ValidationError(f"sample size must be positive, got {size}")
+        if not replace and size > self.num_rows:
+            raise ValidationError(
+                f"cannot sample {size} rows without replacement from {self.num_rows}"
+            )
+        rng = ensure_rng(random_state)
+        indices = rng.choice(self.num_rows, size=size, replace=replace)
+        return Dataset(self._values[indices].copy(), self._column_names)
+
+    def filter_region(self, region: Region, columns: Optional[Sequence] = None) -> "Dataset":
+        """Return the subset ``D`` of rows falling inside ``region``.
+
+        ``columns`` restricts which columns define the hyper-rectangle (used for
+        the aggregate statistic, where the measured attribute is excluded from
+        the region definition — see Definition 2).
+        """
+        mask = self.region_mask(region, columns=columns)
+        return Dataset(self._values[mask].copy(), self._column_names)
+
+    def region_mask(self, region: Region, columns: Optional[Sequence] = None) -> np.ndarray:
+        """Boolean mask of the rows inside ``region`` over the selected columns."""
+        if columns is None:
+            positions = list(range(self.num_columns))
+        else:
+            positions = [self.column_position(name) for name in columns]
+        if region.dim != len(positions):
+            raise ValidationError(
+                f"region has dimensionality {region.dim} but {len(positions)} columns were selected"
+            )
+        sub = self._values[:, positions]
+        return np.all((sub >= region.lower) & (sub <= region.upper), axis=1)
+
+    def bounding_box(self, columns: Optional[Sequence] = None, padding: float = 0.0) -> Region:
+        """Smallest region enclosing all rows over the selected columns."""
+        if columns is None:
+            values = self._values
+        else:
+            positions = [self.column_position(name) for name in columns]
+            values = self._values[:, positions]
+        return bounding_region(values, padding=padding)
+
+    # ------------------------------------------------------------------ conversion helpers
+    def to_dict(self) -> Dict[str, np.ndarray]:
+        """Return the dataset as a mapping ``column name -> column array``."""
+        return {name: self.column(name).copy() for name in self._column_names}
+
+    @classmethod
+    def from_dict(cls, columns: Dict[str, Iterable[float]]) -> "Dataset":
+        """Build a dataset from a mapping of column names to equal-length sequences."""
+        if not columns:
+            raise ValidationError("at least one column is required")
+        names = list(columns.keys())
+        arrays = [np.asarray(list(columns[name]), dtype=np.float64) for name in names]
+        lengths = {len(arr) for arr in arrays}
+        if len(lengths) != 1:
+            raise ValidationError(f"columns have differing lengths: {sorted(lengths)}")
+        return cls(np.column_stack(arrays), names)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dataset(num_rows={self.num_rows}, columns={self._column_names})"

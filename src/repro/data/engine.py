@@ -1,0 +1,156 @@
+"""The back-end analytics engine that evaluates the true statistic ``f(x, l)``.
+
+This is the component the paper identifies as the bottleneck: every exact
+region evaluation is a scan (or an index lookup) over the ``N`` data vectors.
+The engine also keeps a counter of how many evaluations it has served, which
+the experiments use to report work done by data-driven methods.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.index import GridIndex
+from repro.data.regions import Region
+from repro.data.statistics import CountStatistic, StatisticSpec
+from repro.exceptions import ValidationError
+
+
+class DataEngine:
+    """Evaluates region statistics exactly against a :class:`Dataset`.
+
+    Parameters
+    ----------
+    dataset:
+        The stored data vectors.
+    statistic:
+        The statistic ``f`` to evaluate for each region.
+    use_index:
+        Build a :class:`GridIndex` over the region columns to prune scans.  The
+        index is only used for pure count statistics where candidate pruning is
+        a clear win; attribute statistics fall back to full masks.
+    cells_per_dim:
+        Grid resolution for the optional index.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        statistic: StatisticSpec,
+        use_index: bool = False,
+        cells_per_dim: int = 16,
+    ):
+        self._dataset = dataset
+        self._statistic = statistic
+        self._region_columns = statistic.region_columns(dataset)
+        if not self._region_columns:
+            raise ValidationError("statistic leaves no columns to define regions over")
+        self._region_positions = [dataset.column_position(c) for c in self._region_columns]
+        self._region_values = dataset.values[:, self._region_positions]
+        self._evaluations = 0
+        self._index: Optional[GridIndex] = None
+        if use_index:
+            self._index = GridIndex(self._region_values, cells_per_dim=cells_per_dim)
+
+    # ------------------------------------------------------------------ introspection
+    @property
+    def dataset(self) -> Dataset:
+        """The underlying dataset."""
+        return self._dataset
+
+    @property
+    def statistic(self) -> StatisticSpec:
+        """The statistic specification evaluated by this engine."""
+        return self._statistic
+
+    @property
+    def region_columns(self) -> List[str]:
+        """Columns constrained by region hyper-rectangles for this statistic."""
+        return list(self._region_columns)
+
+    @property
+    def region_dim(self) -> int:
+        """Dimensionality ``d`` of the region (and hence 2d of the solution space)."""
+        return len(self._region_columns)
+
+    @property
+    def num_evaluations(self) -> int:
+        """How many exact region evaluations this engine has served."""
+        return self._evaluations
+
+    def reset_evaluation_counter(self) -> None:
+        """Reset the evaluation counter (used between experiment runs)."""
+        self._evaluations = 0
+
+    def region_bounds(self, padding: float = 0.0) -> Region:
+        """Bounding box of the data over the region columns."""
+        return self._dataset.bounding_box(columns=self._region_columns, padding=padding)
+
+    # ------------------------------------------------------------------ evaluation
+    def region_mask(self, region: Region) -> np.ndarray:
+        """Boolean mask of dataset rows inside ``region`` (over region columns)."""
+        if region.dim != self.region_dim:
+            raise ValidationError(
+                f"region has dimensionality {region.dim}, engine expects {self.region_dim}"
+            )
+        if self._index is not None:
+            mask = np.zeros(self._dataset.num_rows, dtype=bool)
+            mask[self._index.query_indices(region)] = True
+            return mask
+        values = self._region_values
+        return np.all((values >= region.lower) & (values <= region.upper), axis=1)
+
+    def evaluate(self, region: Region) -> float:
+        """Evaluate ``y = f(x, l)`` exactly for ``region``."""
+        self._evaluations += 1
+        mask = self.region_mask(region)
+        return self._statistic.compute(self._dataset, mask)
+
+    def evaluate_vector(self, vector: np.ndarray) -> float:
+        """Evaluate a region encoded as the ``2d`` solution vector ``[x, l]``."""
+        return self.evaluate(Region.from_vector(vector))
+
+    def evaluate_many(self, regions: Iterable[Region]) -> np.ndarray:
+        """Evaluate a batch of regions, returning an array of statistics."""
+        return np.asarray([self.evaluate(region) for region in regions], dtype=np.float64)
+
+    def support(self, region: Region) -> int:
+        """Number of data points inside ``region`` regardless of the statistic."""
+        return int(np.count_nonzero(self.region_mask(region)))
+
+    # ------------------------------------------------------------------ statistic distribution
+    def statistic_sample(
+        self,
+        num_regions: int,
+        random_state=None,
+        min_fraction: float = 0.01,
+        max_fraction: float = 0.15,
+    ) -> np.ndarray:
+        """Sample the distribution of ``y`` over random regions.
+
+        The paper uses the empirical CDF of this sample to pick meaningful
+        thresholds (e.g. the third quartile ``Q3`` in the Crimes experiment) and
+        to reason about the probability that a request is satisfiable (Eq. 5).
+        """
+        from repro.data.regions import random_region
+        from repro.utils.rng import ensure_rng
+
+        rng = ensure_rng(random_state)
+        bounds = self.region_bounds()
+        values = [
+            self.evaluate(random_region(rng, bounds, min_fraction, max_fraction))
+            for _ in range(int(num_regions))
+        ]
+        return np.asarray(values, dtype=np.float64)
+
+    def empirical_cdf(self, sample: np.ndarray):
+        """Return a callable empirical CDF ``F_Y`` built from ``sample``."""
+        sample = np.sort(np.asarray(sample, dtype=np.float64))
+
+        def cdf(value: float) -> float:
+            return float(np.searchsorted(sample, value, side="right")) / sample.size
+
+        return cdf

@@ -1,0 +1,250 @@
+"""Hyper-rectangular regions (Definition 2 of the paper) and their geometry.
+
+A *statistic region* is parameterised by a centre ``x`` and per-dimension half
+side lengths ``l``; the region covers ``[x - l, x + l]`` in every dimension.
+The paper encodes a candidate solution as the ``2d``-dimensional vector
+``[x, l]`` — :meth:`Region.to_vector` / :meth:`Region.from_vector` implement
+exactly that encoding, and :func:`iou` implements the Intersection-over-Union
+accuracy metric (Eq. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError, ValidationError
+from repro.utils.validation import check_array
+
+
+@dataclass(frozen=True)
+class Region:
+    """Axis-aligned hyper-rectangle described by centre and half side lengths.
+
+    Parameters
+    ----------
+    center:
+        Centre point ``x`` of the hyper-rectangle, shape ``(d,)``.
+    half_lengths:
+        Per-dimension half side lengths ``l`` (all strictly positive), shape ``(d,)``.
+    """
+
+    center: np.ndarray
+    half_lengths: np.ndarray
+
+    def __post_init__(self) -> None:
+        center = check_array(self.center, name="center", ndim=1)
+        half_lengths = check_array(self.half_lengths, name="half_lengths", ndim=1)
+        if center.shape != half_lengths.shape:
+            raise DimensionMismatchError(
+                f"center has shape {center.shape} but half_lengths has shape {half_lengths.shape}"
+            )
+        if np.any(half_lengths <= 0):
+            raise ValidationError("all half_lengths must be strictly positive")
+        object.__setattr__(self, "center", center)
+        object.__setattr__(self, "half_lengths", half_lengths)
+
+    # ------------------------------------------------------------------ basic geometry
+    @property
+    def dim(self) -> int:
+        """Dimensionality ``d`` of the region."""
+        return self.center.shape[0]
+
+    @property
+    def lower(self) -> np.ndarray:
+        """Lower corner ``x - l``."""
+        return self.center - self.half_lengths
+
+    @property
+    def upper(self) -> np.ndarray:
+        """Upper corner ``x + l``."""
+        return self.center + self.half_lengths
+
+    @property
+    def side_lengths(self) -> np.ndarray:
+        """Full side lengths ``2 * l``."""
+        return 2.0 * self.half_lengths
+
+    def volume(self) -> float:
+        """Volume of the hyper-rectangle, ``prod_i 2 l_i``."""
+        return float(np.prod(self.side_lengths))
+
+    # ------------------------------------------------------------------ construction
+    @classmethod
+    def from_bounds(cls, lower: Sequence[float], upper: Sequence[float]) -> "Region":
+        """Build a region from its lower/upper corners."""
+        lower = check_array(lower, name="lower", ndim=1)
+        upper = check_array(upper, name="upper", ndim=1)
+        if lower.shape != upper.shape:
+            raise DimensionMismatchError("lower and upper must have the same shape")
+        if np.any(upper <= lower):
+            raise ValidationError("upper must be strictly greater than lower in every dimension")
+        center = (lower + upper) / 2.0
+        half = (upper - lower) / 2.0
+        return cls(center, half)
+
+    @classmethod
+    def from_vector(cls, vector: Sequence[float]) -> "Region":
+        """Decode a ``2d``-dimensional solution vector ``[x, l]`` into a region."""
+        vector = check_array(vector, name="vector", ndim=1)
+        if vector.shape[0] % 2 != 0:
+            raise ValidationError(f"solution vector length must be even, got {vector.shape[0]}")
+        d = vector.shape[0] // 2
+        return cls(vector[:d], vector[d:])
+
+    def to_vector(self) -> np.ndarray:
+        """Encode the region as the ``2d``-dimensional vector ``[x, l]``."""
+        return np.concatenate([self.center, self.half_lengths])
+
+    # ------------------------------------------------------------------ predicates
+    def contains_points(self, points: np.ndarray) -> np.ndarray:
+        """Boolean mask of which ``points`` (shape ``(n, d)``) fall inside the region."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim == 1:
+            points = points.reshape(1, -1)
+        if points.shape[1] != self.dim:
+            raise DimensionMismatchError(
+                f"points have dimensionality {points.shape[1]}, region has {self.dim}"
+            )
+        return np.all((points >= self.lower) & (points <= self.upper), axis=1)
+
+    def contains_region(self, other: "Region") -> bool:
+        """Whether ``other`` lies fully inside this region."""
+        self._check_same_dim(other)
+        return bool(np.all(other.lower >= self.lower) and np.all(other.upper <= self.upper))
+
+    def intersects(self, other: "Region") -> bool:
+        """Whether the two hyper-rectangles overlap (touching counts as overlap)."""
+        self._check_same_dim(other)
+        return bool(np.all(self.lower <= other.upper) and np.all(other.lower <= self.upper))
+
+    # ------------------------------------------------------------------ geometry with others
+    def intersection_volume(self, other: "Region") -> float:
+        """Volume of the overlap between the two regions (0.0 when disjoint)."""
+        self._check_same_dim(other)
+        overlap = np.minimum(self.upper, other.upper) - np.maximum(self.lower, other.lower)
+        if np.any(overlap <= 0):
+            return 0.0
+        return float(np.prod(overlap))
+
+    def union_volume(self, other: "Region") -> float:
+        """Volume of the union of the two regions (inclusion–exclusion)."""
+        return self.volume() + other.volume() - self.intersection_volume(other)
+
+    def iou(self, other: "Region") -> float:
+        """Intersection over Union (Jaccard index, Eq. 10) with ``other``."""
+        union = self.union_volume(other)
+        if union <= 0:
+            return 0.0
+        return self.intersection_volume(other) / union
+
+    def clipped(self, lower: Sequence[float], upper: Sequence[float], min_half_length: float = 1e-9) -> "Region":
+        """Return a copy clipped to the bounding box ``[lower, upper]``.
+
+        Degenerate dimensions (where clipping removes all extent) are kept at a
+        tiny ``min_half_length`` so downstream volume computations stay defined.
+        """
+        lower = check_array(lower, name="lower", ndim=1)
+        upper = check_array(upper, name="upper", ndim=1)
+        new_low = np.clip(self.lower, lower, upper)
+        new_up = np.clip(self.upper, lower, upper)
+        half = np.maximum((new_up - new_low) / 2.0, min_half_length)
+        center = (new_low + new_up) / 2.0
+        return Region(center, half)
+
+    def expanded(self, factor: float) -> "Region":
+        """Return a copy with half lengths multiplied by ``factor`` (> 0)."""
+        if factor <= 0:
+            raise ValidationError(f"factor must be > 0, got {factor}")
+        return Region(self.center.copy(), self.half_lengths * factor)
+
+    def translated(self, offset: Sequence[float]) -> "Region":
+        """Return a copy with the centre moved by ``offset``."""
+        offset = check_array(offset, name="offset", ndim=1)
+        if offset.shape[0] != self.dim:
+            raise DimensionMismatchError("offset dimensionality does not match region")
+        return Region(self.center + offset, self.half_lengths.copy())
+
+    def _check_same_dim(self, other: "Region") -> None:
+        if self.dim != other.dim:
+            raise DimensionMismatchError(
+                f"regions have different dimensionalities: {self.dim} vs {other.dim}"
+            )
+
+    # ------------------------------------------------------------------ misc
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        center = np.array2string(self.center, precision=3)
+        half = np.array2string(self.half_lengths, precision=3)
+        return f"Region(center={center}, half_lengths={half})"
+
+
+def iou(first: Region, second: Region) -> float:
+    """Module-level convenience wrapper for :meth:`Region.iou`."""
+    return first.iou(second)
+
+
+def rectangle_intersection_volume(first: Region, second: Region) -> float:
+    """Volume of the overlap of two regions."""
+    return first.intersection_volume(second)
+
+
+def rectangle_union_volume(first: Region, second: Region) -> float:
+    """Volume of the union of two regions."""
+    return first.union_volume(second)
+
+
+def bounding_region(points: np.ndarray, padding: float = 0.0) -> Region:
+    """Smallest axis-aligned region containing every row of ``points``.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, d)``.
+    padding:
+        Fractional padding added to each side (e.g. ``0.05`` adds 5 % of the
+        extent on both sides) so boundary points end up strictly inside.
+    """
+    points = check_array(points, name="points", ndim=2)
+    lower = points.min(axis=0)
+    upper = points.max(axis=0)
+    extent = np.maximum(upper - lower, 1e-12)
+    # A tiny padding floor keeps boundary points inside despite the centre/half-length
+    # round trip losing one ulp of precision.
+    padding = max(float(padding), 1e-9)
+    lower = lower - padding * extent
+    upper = upper + padding * extent
+    # Guard against zero-extent dimensions (constant columns).
+    flat = upper <= lower
+    upper = np.where(flat, lower + 1e-6, upper)
+    return Region.from_bounds(lower, upper)
+
+
+def random_region(
+    rng: np.random.Generator,
+    bounds: Region,
+    min_fraction: float = 0.01,
+    max_fraction: float = 0.15,
+) -> Region:
+    """Sample a random region inside ``bounds``.
+
+    Mirrors how the paper generates past region evaluations: centres are
+    uniform over the data bounding box and "side lengths are set to cover
+    1 %–15 % of the data domain".  The fraction is interpreted as the share of
+    the domain *volume* the region covers (so the protocol scales with
+    dimensionality); per-dimension side lengths are drawn with random
+    log-proportions so regions are not forced to be cubes.
+    """
+    if not 0 < min_fraction <= max_fraction:
+        raise ValidationError("fractions must satisfy 0 < min_fraction <= max_fraction")
+    if max_fraction > 1:
+        raise ValidationError("max_fraction must not exceed 1 (the whole domain)")
+    extent = bounds.upper - bounds.lower
+    center = rng.uniform(bounds.lower, bounds.upper)
+    volume_fraction = rng.uniform(min_fraction, max_fraction)
+    # Split log(volume_fraction) across dimensions: prod_i (side_i / extent_i) == volume_fraction.
+    proportions = rng.dirichlet(np.ones(bounds.dim))
+    sides = extent * volume_fraction**proportions
+    half = np.maximum(sides / 2.0, 1e-9)
+    return Region(center, half)

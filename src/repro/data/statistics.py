@@ -1,0 +1,197 @@
+"""Region statistics ``y = f(x, l)`` (Definition 2/3 of the paper).
+
+A :class:`StatisticSpec` turns the subset ``D`` of data vectors inside a region
+into a scalar statistic.  The paper's experiments use two of them —
+``density`` (the number of points inside the region) and ``aggregate`` (the
+average of one attribute over points inside the region) — but notes the
+statistic can be anything (sum, variance, higher-order moments, class ratio,
+median, ...).  All of those are provided here.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.regions import Region
+from repro.exceptions import EmptyRegionError, ValidationError
+
+
+class StatisticSpec(ABC):
+    """Specification of a statistic computed over the points inside a region."""
+
+    #: Value reported for an empty region when the statistic needs data points.
+    empty_value: float = 0.0
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short identifier (``count``, ``average``, ...)."""
+
+    @abstractmethod
+    def region_columns(self, dataset: Dataset) -> list:
+        """Columns of ``dataset`` that the hyper-rectangle constrains."""
+
+    @abstractmethod
+    def compute(self, dataset: Dataset, mask: np.ndarray) -> float:
+        """Compute the statistic over the rows of ``dataset`` selected by ``mask``."""
+
+    def region_dim(self, dataset: Dataset) -> int:
+        """Dimensionality of the region vector for this statistic over ``dataset``."""
+        return len(self.region_columns(dataset))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class CountStatistic(StatisticSpec):
+    """Number of data points inside the region (the paper's *density* statistic)."""
+
+    @property
+    def name(self) -> str:
+        return "count"
+
+    def region_columns(self, dataset: Dataset) -> list:
+        return dataset.column_names
+
+    def compute(self, dataset: Dataset, mask: np.ndarray) -> float:
+        return float(np.count_nonzero(mask))
+
+
+class _AttributeStatistic(StatisticSpec):
+    """Base class for statistics of a single target attribute.
+
+    Per Definition 2, the measured attribute is *not* part of the
+    hyper-rectangle: the region constrains all other columns.
+    """
+
+    def __init__(self, target_column, exclude_target_from_region: bool = True):
+        self.target_column = target_column
+        self.exclude_target_from_region = bool(exclude_target_from_region)
+
+    def region_columns(self, dataset: Dataset) -> list:
+        target = dataset.column_names[dataset.column_position(self.target_column)]
+        if not self.exclude_target_from_region:
+            return dataset.column_names
+        return [name for name in dataset.column_names if name != target]
+
+    def _target_values(self, dataset: Dataset, mask: np.ndarray) -> np.ndarray:
+        return dataset.column(self.target_column)[mask]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(target_column={self.target_column!r})"
+
+
+class AverageStatistic(_AttributeStatistic):
+    """Average of the target attribute over points in the region (paper's *aggregate*)."""
+
+    @property
+    def name(self) -> str:
+        return "average"
+
+    def compute(self, dataset: Dataset, mask: np.ndarray) -> float:
+        values = self._target_values(dataset, mask)
+        if values.size == 0:
+            return self.empty_value
+        return float(values.mean())
+
+
+class SumStatistic(_AttributeStatistic):
+    """Sum of the target attribute over points in the region."""
+
+    @property
+    def name(self) -> str:
+        return "sum"
+
+    def compute(self, dataset: Dataset, mask: np.ndarray) -> float:
+        values = self._target_values(dataset, mask)
+        return float(values.sum()) if values.size else self.empty_value
+
+
+class VarianceStatistic(_AttributeStatistic):
+    """Population variance of the target attribute over points in the region."""
+
+    @property
+    def name(self) -> str:
+        return "variance"
+
+    def compute(self, dataset: Dataset, mask: np.ndarray) -> float:
+        values = self._target_values(dataset, mask)
+        if values.size == 0:
+            return self.empty_value
+        return float(values.var())
+
+
+class MedianStatistic(_AttributeStatistic):
+    """Median of the target attribute — a non-decomposable statistic (Definition 3)."""
+
+    @property
+    def name(self) -> str:
+        return "median"
+
+    def compute(self, dataset: Dataset, mask: np.ndarray) -> float:
+        values = self._target_values(dataset, mask)
+        if values.size == 0:
+            return self.empty_value
+        return float(np.median(values))
+
+
+class RatioStatistic(_AttributeStatistic):
+    """Fraction of points in the region whose target attribute equals ``positive_value``.
+
+    Used for the Human Activity use case: the ratio of readings labelled with a
+    given activity inside a region of the sensor space.
+    """
+
+    def __init__(self, target_column, positive_value: float, exclude_target_from_region: bool = True):
+        super().__init__(target_column, exclude_target_from_region)
+        self.positive_value = float(positive_value)
+
+    @property
+    def name(self) -> str:
+        return "ratio"
+
+    def compute(self, dataset: Dataset, mask: np.ndarray) -> float:
+        values = self._target_values(dataset, mask)
+        if values.size == 0:
+            return self.empty_value
+        return float(np.mean(np.isclose(values, self.positive_value)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RatioStatistic(target_column={self.target_column!r}, "
+            f"positive_value={self.positive_value})"
+        )
+
+
+_STATISTIC_FACTORIES = {
+    "count": lambda **kw: CountStatistic(),
+    "density": lambda **kw: CountStatistic(),
+    "average": lambda **kw: AverageStatistic(kw["target_column"]),
+    "aggregate": lambda **kw: AverageStatistic(kw["target_column"]),
+    "sum": lambda **kw: SumStatistic(kw["target_column"]),
+    "variance": lambda **kw: VarianceStatistic(kw["target_column"]),
+    "median": lambda **kw: MedianStatistic(kw["target_column"]),
+    "ratio": lambda **kw: RatioStatistic(kw["target_column"], kw["positive_value"]),
+}
+
+
+def make_statistic(name: str, **kwargs) -> StatisticSpec:
+    """Create a statistic by name.
+
+    Recognised names: ``count``/``density``, ``average``/``aggregate``, ``sum``,
+    ``variance``, ``median`` and ``ratio``.  Attribute statistics require a
+    ``target_column`` keyword; ``ratio`` also needs ``positive_value``.
+    """
+    key = str(name).lower()
+    if key not in _STATISTIC_FACTORIES:
+        raise ValidationError(
+            f"unknown statistic {name!r}; available: {sorted(_STATISTIC_FACTORIES)}"
+        )
+    try:
+        return _STATISTIC_FACTORIES[key](**kwargs)
+    except KeyError as exc:
+        raise ValidationError(f"statistic {name!r} is missing required argument {exc}") from exc

@@ -1,0 +1,43 @@
+"""Experiment runners reproducing every table and figure of the paper's evaluation.
+
+Each module exposes a ``run(...)`` function whose defaults are scaled down so
+the whole suite finishes on a laptop in minutes; pass larger parameters (or a
+:class:`repro.experiments.config.ExperimentScale`) to approach the paper's
+settings.  Every runner returns plain rows (lists of dicts) so the benchmark
+harness and the examples can print exactly the series the paper reports.
+"""
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.reporting import format_table, summarize_rows
+from repro.experiments import (
+    fig1_particles,
+    fig3_accuracy,
+    fig4_aggregates,
+    fig5_crimes,
+    fig6_training,
+    fig7_objectives,
+    fig8_c_sensitivity,
+    fig9_convergence,
+    fig10_gso_cost,
+    fig11_surrogate_quality,
+    fig12_model_complexity,
+    table1_scalability,
+)
+
+#: Registry mapping experiment identifiers to their runner modules.
+EXPERIMENTS = {
+    "fig1": fig1_particles,
+    "fig3": fig3_accuracy,
+    "fig4": fig4_aggregates,
+    "fig5": fig5_crimes,
+    "fig6": fig6_training,
+    "fig7": fig7_objectives,
+    "fig8": fig8_c_sensitivity,
+    "fig9": fig9_convergence,
+    "fig10": fig10_gso_cost,
+    "fig11": fig11_surrogate_quality,
+    "fig12": fig12_model_complexity,
+    "table1": table1_scalability,
+}
+
+__all__ = ["EXPERIMENTS", "ExperimentScale", "format_table", "summarize_rows"]

@@ -1,0 +1,93 @@
+"""Shared helpers for the experiment runners."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.finder import SuRF
+from repro.core.query import RegionQuery
+from repro.data.engine import DataEngine
+from repro.data.synthetic import SyntheticConfig, SyntheticDataset, make_synthetic_dataset
+from repro.experiments.config import ExperimentScale
+from repro.optim.gso import GSOParameters
+from repro.surrogate.training import SurrogateTrainer
+from repro.surrogate.workload import generate_workload
+
+
+def make_dataset(
+    statistic: str,
+    dim: int,
+    num_regions: int,
+    scale: ExperimentScale,
+    random_state: int,
+) -> SyntheticDataset:
+    """Synthetic ground-truth dataset sized according to the experiment scale."""
+    config = SyntheticConfig(
+        statistic=statistic,
+        dim=dim,
+        num_regions=num_regions,
+        num_points=scale.num_points,
+        random_state=random_state,
+    )
+    return make_synthetic_dataset(config)
+
+
+def build_engine(synthetic: SyntheticDataset, use_index: bool = False) -> DataEngine:
+    """Back-end engine evaluating the dataset's statistic exactly."""
+    return DataEngine(synthetic.dataset, synthetic.statistic, use_index=use_index)
+
+
+def workload_size_for_dim(scale: ExperimentScale, dim: int) -> int:
+    """Grow the workload with dimensionality, as the paper does (300–300 k)."""
+    return int(min(scale.workload_size * max(1, 2 ** (dim - 1)), 300_000))
+
+
+def gso_parameters(scale: ExperimentScale, random_state: Optional[int] = None, **overrides) -> GSOParameters:
+    """Swarm parameters derived from the experiment scale."""
+    defaults = dict(
+        num_particles=scale.num_particles,
+        num_iterations=scale.num_iterations,
+        random_state=random_state,
+    )
+    defaults.update(overrides)
+    return GSOParameters(**defaults)
+
+
+def fit_surf(
+    engine: DataEngine,
+    scale: ExperimentScale,
+    random_state: int,
+    trainer: Optional[SurrogateTrainer] = None,
+    **surf_kwargs,
+) -> Tuple[SuRF, int]:
+    """Train a SuRF finder on a freshly generated workload.
+
+    Returns the fitted finder and the workload size used.
+    """
+    num_evaluations = workload_size_for_dim(scale, engine.region_dim)
+    finder = SuRF(
+        trainer=trainer,
+        gso_parameters=gso_parameters(scale, random_state=random_state),
+        random_state=random_state,
+        **surf_kwargs,
+    )
+    workload = generate_workload(engine, num_evaluations, random_state=random_state)
+    sample_size = min(1_000, engine.dataset.num_rows)
+    data_sample = (
+        engine.dataset.sample(sample_size, random_state=random_state)
+        .select_columns(engine.region_columns)
+        .values
+    )
+    finder.fit(workload, data_sample=data_sample)
+    return finder, num_evaluations
+
+
+def default_query(synthetic: SyntheticDataset, size_penalty: float = 4.0) -> RegionQuery:
+    """The threshold query used by the accuracy experiments (Section V-B)."""
+    return RegionQuery(
+        threshold=synthetic.suggested_threshold(),
+        direction="above",
+        size_penalty=size_penalty,
+    )

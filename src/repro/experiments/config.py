@@ -1,0 +1,94 @@
+"""Shared experiment scaling knobs.
+
+The paper's full settings (10⁷-row tables, 300 k-query workloads, 3 000-second
+timeouts) are impractical for CI; every experiment accepts an
+:class:`ExperimentScale` that multiplies dataset sizes, workload sizes and
+swarm budgets.  ``SMALL`` is the default used by the test-suite and the
+benchmark harness; ``PAPER`` approximates the published setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Scaling profile for experiment runners.
+
+    Attributes
+    ----------
+    num_points:
+        Rows in the synthetic datasets used by accuracy experiments.
+    workload_size:
+        Past region evaluations used to train surrogates (base value for d=1;
+        runners scale it up with dimensionality).
+    num_particles / num_iterations:
+        Swarm budget for the GSO-based methods.
+    naive_max_candidates:
+        Cap on the number of candidate regions the Naive baseline evaluates.
+    time_budget_seconds:
+        Per-method wall-clock budget for the scalability experiment.
+    """
+
+    name: str
+    num_points: int
+    workload_size: int
+    num_particles: int
+    num_iterations: int
+    naive_max_candidates: int
+    time_budget_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.num_points < 100:
+            raise ValidationError("num_points must be at least 100")
+        if self.workload_size < 50:
+            raise ValidationError("workload_size must be at least 50")
+
+
+#: Fast profile used by tests and the default benchmark runs.
+SMALL = ExperimentScale(
+    name="small",
+    num_points=4_000,
+    workload_size=600,
+    num_particles=60,
+    num_iterations=40,
+    naive_max_candidates=800,
+    time_budget_seconds=5.0,
+)
+
+#: Intermediate profile for a more faithful (but still laptop-scale) run.
+MEDIUM = ExperimentScale(
+    name="medium",
+    num_points=12_000,
+    workload_size=3_000,
+    num_particles=100,
+    num_iterations=100,
+    naive_max_candidates=10_000,
+    time_budget_seconds=60.0,
+)
+
+#: Approximation of the paper's settings (hours of compute).
+PAPER = ExperimentScale(
+    name="paper",
+    num_points=100_000,
+    workload_size=20_000,
+    num_particles=100,
+    num_iterations=100,
+    naive_max_candidates=10_000_000,
+    time_budget_seconds=3_000.0,
+)
+
+SCALES = {scale.name: scale for scale in (SMALL, MEDIUM, PAPER)}
+
+
+def get_scale(name_or_scale) -> ExperimentScale:
+    """Resolve a scale by name (``"small"``, ``"medium"``, ``"paper"``) or pass-through."""
+    if isinstance(name_or_scale, ExperimentScale):
+        return name_or_scale
+    key = str(name_or_scale).lower()
+    if key not in SCALES:
+        raise ValidationError(f"unknown scale {name_or_scale!r}; available: {sorted(SCALES)}")
+    return SCALES[key]

@@ -1,0 +1,112 @@
+"""Figure 11 — surrogate quality: IoU vs RMSE correlation and RMSE vs training size.
+
+Left panel: over a d = 3, k = 1 density dataset, surrogates of varying quality
+(different workload sizes and tree depths) are trained; each one's hold-out
+RMSE and the IoU SuRF achieves with it are recorded, and their Pearson
+correlation is reported (the paper estimates ≈ −0.57).
+
+Right panel: for each data dimensionality, the hold-out RMSE as a function of
+the number of training examples (the paper observes ≈ 1 000 examples suffice
+at low dimensionality).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.evaluation import average_iou
+from repro.experiments import common
+from repro.experiments.config import ExperimentScale, SMALL, get_scale
+from repro.ml.boosting import GradientBoostingRegressor
+from repro.ml.metrics import pearson_correlation
+from repro.surrogate.training import SurrogateTrainer
+from repro.surrogate.workload import generate_workload
+
+
+def run_correlation(
+    scale: ExperimentScale = SMALL,
+    workload_sizes: Sequence[int] = (150, 300, 600, 1_200),
+    max_depths: Sequence[int] = (2, 4, 6),
+    random_state: int = 23,
+) -> Dict:
+    """Left panel: IoU vs hold-out RMSE across surrogates of varying quality."""
+    scale = get_scale(scale)
+    synthetic = common.make_dataset("density", dim=3, num_regions=1, scale=scale, random_state=random_state)
+    engine = common.build_engine(synthetic)
+    query = common.default_query(synthetic)
+    workload = generate_workload(engine, max(workload_sizes), random_state=random_state)
+
+    rows: List[Dict] = []
+    for size in workload_sizes:
+        subset = workload.subset(size, random_state=random_state) if size < len(workload) else workload
+        for depth in max_depths:
+            trainer = SurrogateTrainer(
+                estimator=GradientBoostingRegressor(
+                    n_estimators=80, max_depth=depth, random_state=random_state
+                ),
+                random_state=random_state,
+            )
+            from repro.core.finder import SuRF
+
+            finder = SuRF(
+                trainer=trainer,
+                gso_parameters=common.gso_parameters(scale, random_state=random_state),
+                use_density_guidance=False,
+                random_state=random_state,
+            )
+            finder.fit(subset)
+            rmse = trainer.last_report_.test_rmse or trainer.last_report_.train_rmse
+            result = finder.find_regions(query)
+            regions = result.all_feasible_regions() or result.regions
+            iou = average_iou(regions, synthetic.ground_truth_regions)
+            rows.append(
+                {
+                    "workload_size": size,
+                    "max_depth": depth,
+                    "rmse": float(rmse),
+                    "iou": float(iou),
+                }
+            )
+    correlation = pearson_correlation(
+        np.asarray([row["rmse"] for row in rows]), np.asarray([row["iou"] for row in rows])
+    )
+    return {"rows": rows, "pearson_correlation": correlation}
+
+
+def run_learning_curves(
+    scale: ExperimentScale = SMALL,
+    dims: Sequence[int] = (1, 2, 3),
+    workload_sizes: Sequence[int] = (100, 300, 1_000),
+    random_state: int = 29,
+) -> List[Dict]:
+    """Right panel: hold-out RMSE vs number of training examples per dimensionality."""
+    scale = get_scale(scale)
+    rows: List[Dict] = []
+    for dim in dims:
+        synthetic = common.make_dataset("density", dim, 1, scale, random_state + dim)
+        engine = common.build_engine(synthetic)
+        workload = generate_workload(engine, max(workload_sizes), random_state=random_state)
+        for size in workload_sizes:
+            subset = workload.subset(size, random_state=random_state) if size < len(workload) else workload
+            trainer = SurrogateTrainer(random_state=random_state)
+            trainer.train(subset)
+            report = trainer.last_report_
+            rows.append(
+                {
+                    "dim": dim,
+                    "solution_dim": 2 * dim,
+                    "workload_size": size,
+                    "rmse": float(report.test_rmse or report.train_rmse),
+                }
+            )
+    return rows
+
+
+def run(scale: ExperimentScale = SMALL, random_state: int = 23) -> Dict:
+    """Run both panels of Figure 11."""
+    return {
+        "correlation": run_correlation(scale=scale, random_state=random_state),
+        "learning_curves": run_learning_curves(scale=scale, random_state=random_state + 6),
+    }

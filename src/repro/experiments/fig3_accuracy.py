@@ -1,0 +1,129 @@
+"""Figure 3 — average IoU of each method across dimensionality, statistic and k.
+
+For every synthetic dataset (statistic ∈ {aggregate, density}, d ∈ 1..5,
+k ∈ {1, 3}) the four methods of the paper are run and the average IoU of their
+proposed regions against the planted ground truth is recorded:
+
+* SuRF (surrogate + GSO),
+* Naive (discretised exhaustive search),
+* PRIM (peel/paste bump hunting; response = target attribute for the
+  aggregate statistic and a constant for the density statistic, which is the
+  paper's point about PRIM not being applicable there),
+* f+GlowWorm (GSO on the true statistic).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.naive import NaiveGridSearch
+from repro.baselines.prim import PRIM
+from repro.baselines.true_gso import TrueFunctionGSO
+from repro.core.evaluation import average_iou
+from repro.data.regions import Region
+from repro.experiments import common
+from repro.experiments.config import ExperimentScale, SMALL, get_scale
+
+DEFAULT_METHODS = ("SuRF", "Naive", "PRIM", "f+GlowWorm")
+
+
+def _surf_iou(synthetic, engine, scale, random_state):
+    finder, _ = common.fit_surf(engine, scale, random_state)
+    query = common.default_query(synthetic)
+    result = finder.find_regions(query)
+    regions = result.all_feasible_regions() or result.regions
+    return average_iou(regions, synthetic.ground_truth_regions)
+
+
+def _true_gso_iou(synthetic, engine, scale, random_state):
+    query = common.default_query(synthetic)
+    baseline = TrueFunctionGSO(
+        gso_parameters=common.gso_parameters(scale, random_state=random_state),
+        random_state=random_state,
+    )
+    baseline.find_regions(engine, query)
+    optimization = baseline.last_result_.optimization
+    regions = [Region.from_vector(vector) for vector in optimization.feasible_positions]
+    if not regions:
+        regions = [proposal.region for proposal in baseline.last_result_.proposals]
+    return average_iou(regions, synthetic.ground_truth_regions)
+
+
+def _naive_iou(synthetic, engine, scale, random_state):
+    query = common.default_query(synthetic)
+    baseline = NaiveGridSearch(
+        num_centers=6,
+        num_lengths=6,
+        max_half_fraction=0.3,
+        max_candidates=scale.naive_max_candidates,
+        time_budget_seconds=scale.time_budget_seconds,
+    )
+    proposals = baseline.find_regions(engine, query)
+    return average_iou(proposals, synthetic.ground_truth_regions)
+
+
+def _prim_iou(synthetic, engine, scale, random_state):
+    dataset = synthetic.dataset
+    region_columns = synthetic.region_columns
+    points = dataset.select_columns(region_columns).values
+    if synthetic.config.statistic == "aggregate":
+        response = dataset.column("target")
+        prim = PRIM(mass_min=0.01, threshold=2.0, max_boxes=max(3, synthetic.config.num_regions))
+    else:
+        # The density statistic has no response attribute; PRIM is run on a constant
+        # response, which is exactly the mismatch the paper describes.
+        response = np.ones(dataset.num_rows)
+        prim = PRIM(mass_min=0.01, threshold=None, max_boxes=max(3, synthetic.config.num_regions))
+    proposals = prim.find_regions(points, response)
+    return average_iou(proposals, synthetic.ground_truth_regions)
+
+
+_METHOD_RUNNERS = {
+    "SuRF": _surf_iou,
+    "Naive": _naive_iou,
+    "PRIM": _prim_iou,
+    "f+GlowWorm": _true_gso_iou,
+}
+
+
+def run(
+    scale: ExperimentScale = SMALL,
+    dims: Sequence[int] = (1, 2, 3),
+    region_counts: Sequence[int] = (1, 3),
+    statistics: Sequence[str] = ("aggregate", "density"),
+    methods: Sequence[str] = DEFAULT_METHODS,
+    random_state: int = 11,
+) -> List[Dict]:
+    """Run the accuracy comparison and return one row per (statistic, d, k, method).
+
+    The defaults cover d ∈ 1..3 to keep the run short; pass ``dims=(1, 2, 3, 4, 5)``
+    for the paper's full sweep.
+    """
+    scale = get_scale(scale)
+    rows: List[Dict] = []
+    for statistic in statistics:
+        for dim in dims:
+            for k in region_counts:
+                synthetic = common.make_dataset(statistic, dim, k, scale, random_state + dim * 13 + k)
+                engine = common.build_engine(synthetic)
+                for method in methods:
+                    runner = _METHOD_RUNNERS[method]
+                    engine.reset_evaluation_counter()
+                    start = time.perf_counter()
+                    iou = runner(synthetic, engine, scale, random_state)
+                    elapsed = time.perf_counter() - start
+                    rows.append(
+                        {
+                            "statistic": statistic,
+                            "dim": dim,
+                            "k": k,
+                            "method": method,
+                            "iou": float(iou),
+                            "seconds": elapsed,
+                            "engine_evaluations": engine.num_evaluations,
+                        }
+                    )
+    return rows

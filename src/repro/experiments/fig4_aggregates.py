@@ -1,0 +1,34 @@
+"""Figure 4 — IoU aggregated by number of regions (k) and by statistic type.
+
+The figure is a re-aggregation of the Figure 3 results: average IoU (and its
+standard deviation) per method grouped once by ``k`` and once by the statistic
+type.  This runner either consumes rows produced by
+:mod:`repro.experiments.fig3_accuracy` or generates them itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments import fig3_accuracy
+from repro.experiments.config import ExperimentScale, SMALL
+from repro.experiments.reporting import summarize_rows
+
+
+def run(
+    scale: ExperimentScale = SMALL,
+    rows: Optional[List[Dict]] = None,
+    **fig3_kwargs,
+) -> Dict[str, List[Dict]]:
+    """Return the two aggregations of Figure 4.
+
+    Returns a dict with keys ``by_regions`` (method × k) and ``by_statistic``
+    (method × statistic type), each a list of rows with mean/std IoU.
+    """
+    if rows is None:
+        rows = fig3_accuracy.run(scale=scale, **fig3_kwargs)
+    return {
+        "by_regions": summarize_rows(rows, group_by=("method", "k"), value="iou"),
+        "by_statistic": summarize_rows(rows, group_by=("method", "statistic"), value="iou"),
+        "rows": rows,
+    }

@@ -1,0 +1,66 @@
+"""Figure 6 — surrogate training overhead vs workload size, with/without hyper-tuning.
+
+The paper trains XGBoost surrogates on 10 k–388 k past queries and shows that
+grid-search hyper-tuning dominates the cost (the 144-combination grid).  This
+runner sweeps workload sizes (scaled down by default), trains the gradient-
+boosted surrogate with and without grid search and records the wall-clock
+training time and the resulting hold-out RMSE.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.data.engine import DataEngine
+from repro.data.synthetic import SyntheticConfig, make_synthetic_dataset
+from repro.experiments.config import ExperimentScale, SMALL, get_scale
+from repro.surrogate.training import SurrogateTrainer, default_param_grid
+from repro.surrogate.workload import generate_workload
+
+
+def run(
+    scale: ExperimentScale = SMALL,
+    workload_sizes: Sequence[int] = (200, 500, 1_000),
+    hypertune_options: Sequence[bool] = (False, True),
+    random_state: int = 3,
+) -> List[Dict]:
+    """Measure surrogate training time for each workload size and tuning option."""
+    scale = get_scale(scale)
+    synthetic = make_synthetic_dataset(
+        SyntheticConfig(statistic="density", dim=2, num_regions=1, num_points=scale.num_points, random_state=random_state)
+    )
+    engine = DataEngine(synthetic.dataset, synthetic.statistic)
+    largest = max(workload_sizes)
+    workload = generate_workload(engine, largest, random_state=random_state)
+
+    rows: List[Dict] = []
+    for size in sorted(workload_sizes):
+        subset = workload.subset(size, random_state=random_state) if size < largest else workload
+        for hypertune in hypertune_options:
+            trainer = SurrogateTrainer(
+                hypertune=hypertune,
+                param_grid=default_param_grid(small=True),
+                cv=3,
+                random_state=random_state,
+            )
+            trainer.train(subset)
+            report = trainer.last_report_
+            rows.append(
+                {
+                    "workload_size": size,
+                    "hypertuned": hypertune,
+                    "training_seconds": report.training_seconds,
+                    "test_rmse": report.test_rmse,
+                    "grid_combinations": (
+                        len(trainer.param_grid) and _grid_size(trainer.param_grid) if hypertune else 1
+                    ),
+                }
+            )
+    return rows
+
+
+def _grid_size(param_grid) -> int:
+    size = 1
+    for values in param_grid.values():
+        size *= len(values)
+    return size

@@ -1,0 +1,63 @@
+"""Plain-text rendering of experiment results (rows of dicts)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict], columns: Optional[Sequence[str]] = None, title: Optional[str] = None) -> str:
+    """Render rows of dictionaries as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(column) for column in columns]
+    body = [[_format_value(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(header[i]), max(len(line[i]) for line in body)) for i in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))))
+    return "\n".join(lines)
+
+
+def summarize_rows(rows: Sequence[Dict], group_by: Sequence[str], value: str) -> List[Dict]:
+    """Group rows and report mean/std of ``value`` per group (used for Fig. 4-style views)."""
+    rows = list(rows)
+    if not rows:
+        return []
+    group_by = list(group_by)
+    groups: Dict[tuple, list] = {}
+    for row in rows:
+        if value not in row:
+            raise ValidationError(f"row is missing value column {value!r}")
+        key = tuple(row.get(column) for column in group_by)
+        groups.setdefault(key, []).append(float(row[value]))
+    summary = []
+    for key, values in sorted(groups.items(), key=lambda item: tuple(str(part) for part in item[0])):
+        entry = dict(zip(group_by, key))
+        entry[f"mean_{value}"] = float(np.mean(values))
+        entry[f"std_{value}"] = float(np.std(values))
+        entry["count"] = len(values)
+        summary.append(entry)
+    return summary

@@ -1,0 +1,93 @@
+"""Command-line runner for the paper's experiments.
+
+Usage::
+
+    python -m repro.experiments.runner fig3 table1 --scale small
+    python -m repro.experiments.runner all --scale medium
+
+Each requested experiment is executed at the chosen scale and its rows are
+printed as plain-text tables (the same series reported by the paper).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Iterable, List
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.config import SCALES, get_scale
+from repro.experiments.reporting import format_table
+
+
+def _print_result(name: str, outcome) -> None:
+    if isinstance(outcome, list):
+        print(format_table(outcome, title=f"\n=== {name} ==="))
+        return
+    if isinstance(outcome, dict):
+        printable = {}
+        nested_tables = {}
+        for key, value in outcome.items():
+            if isinstance(value, list) and value and isinstance(value[0], dict):
+                nested_tables[key] = value
+            elif not hasattr(value, "shape"):
+                printable[key] = value
+        if printable:
+            rows = [{"metric": key, "value": value} for key, value in printable.items()]
+            print(format_table(rows, title=f"\n=== {name} ==="))
+        for key, rows in nested_tables.items():
+            print(format_table(rows, title=f"\n=== {name}: {key} ==="))
+        return
+    print(f"\n=== {name} ===\n{outcome}")
+
+
+def run_experiments(names: Iterable[str], scale_name: str) -> List[str]:
+    """Run the named experiments at ``scale_name``; returns the list of names run."""
+    scale = get_scale(scale_name)
+    executed = []
+    for name in names:
+        module = EXPERIMENTS[name]
+        start = time.perf_counter()
+        outcome = module.run(scale=scale)
+        elapsed = time.perf_counter() - start
+        _print_result(f"{name} ({elapsed:.1f}s, scale={scale.name})", outcome)
+        executed.append(name)
+    return executed
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="Re-run the SuRF paper's experiments and print their tables/series.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment ids to run ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=sorted(SCALES),
+        help="experiment scale profile (default: small)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    names = list(args.experiments)
+    if names == ["all"]:
+        names = sorted(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment id(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    run_experiments(names, args.scale)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    raise SystemExit(main())

@@ -1,0 +1,67 @@
+"""k-nearest-neighbour regression — a non-parametric surrogate alternative."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.exceptions import ValidationError
+from repro.ml.base import BaseEstimator
+
+
+class KNeighborsRegressor(BaseEstimator):
+    """Predicts the (optionally distance-weighted) mean target of the k nearest neighbours.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Number of neighbours to average over.
+    weights:
+        ``"uniform"`` for a plain mean or ``"distance"`` for inverse-distance
+        weighting (exact matches dominate, as is conventional).
+    """
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform"):
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+
+        self._tree: Optional[cKDTree] = None
+        self._targets: Optional[np.ndarray] = None
+        self._num_features: Optional[int] = None
+
+    def fit(self, features, targets) -> "KNeighborsRegressor":
+        features, targets = self._validate_fit_inputs(features, targets)
+        if int(self.n_neighbors) < 1:
+            raise ValidationError(f"n_neighbors must be >= 1, got {self.n_neighbors}")
+        if self.weights not in ("uniform", "distance"):
+            raise ValidationError(f"weights must be 'uniform' or 'distance', got {self.weights!r}")
+        self._num_features = features.shape[1]
+        self._tree = cKDTree(features)
+        self._targets = targets.copy()
+        return self
+
+    def predict(self, features) -> np.ndarray:
+        self._check_fitted("_tree")
+        features = self._validate_predict_inputs(features, self._num_features)
+        k = min(int(self.n_neighbors), self._targets.shape[0])
+        distances, indices = self._tree.query(features, k=k)
+        if k == 1:
+            distances = distances[:, None]
+            indices = indices[:, None]
+        neighbour_targets = self._targets[indices]
+        if self.weights == "uniform":
+            return neighbour_targets.mean(axis=1)
+        # Inverse-distance weighting with exact matches handled explicitly.
+        with np.errstate(divide="ignore"):
+            inverse = 1.0 / distances
+        exact = ~np.isfinite(inverse)
+        predictions = np.empty(features.shape[0], dtype=np.float64)
+        for row in range(features.shape[0]):
+            if exact[row].any():
+                predictions[row] = neighbour_targets[row][exact[row]].mean()
+            else:
+                weights = inverse[row]
+                predictions[row] = np.average(neighbour_targets[row], weights=weights)
+        return predictions

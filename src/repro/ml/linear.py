@@ -1,0 +1,86 @@
+"""Linear and ridge regression — the simplest surrogate baselines."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.ml.base import BaseEstimator
+
+
+class LinearRegression(BaseEstimator):
+    """Ordinary least squares fitted with a numerically stable least-squares solve."""
+
+    def __init__(self, fit_intercept: bool = True):
+        self.fit_intercept = fit_intercept
+        self.coefficients_: Optional[np.ndarray] = None
+        self.intercept_: float = 0.0
+        self._num_features: Optional[int] = None
+
+    def fit(self, features, targets) -> "LinearRegression":
+        features, targets = self._validate_fit_inputs(features, targets)
+        self._num_features = features.shape[1]
+        if self.fit_intercept:
+            design = np.hstack([features, np.ones((features.shape[0], 1))])
+        else:
+            design = features
+        solution, *_ = np.linalg.lstsq(design, targets, rcond=None)
+        if self.fit_intercept:
+            self.coefficients_ = solution[:-1]
+            self.intercept_ = float(solution[-1])
+        else:
+            self.coefficients_ = solution
+            self.intercept_ = 0.0
+        return self
+
+    def predict(self, features) -> np.ndarray:
+        self._check_fitted("coefficients_")
+        features = self._validate_predict_inputs(features, self._num_features)
+        return features @ self.coefficients_ + self.intercept_
+
+
+class RidgeRegression(BaseEstimator):
+    """L2-regularised linear regression solved in closed form.
+
+    Parameters
+    ----------
+    alpha:
+        Regularisation strength (the intercept is never penalised).
+    """
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True):
+        self.alpha = alpha
+        self.fit_intercept = fit_intercept
+        self.coefficients_: Optional[np.ndarray] = None
+        self.intercept_: float = 0.0
+        self._num_features: Optional[int] = None
+
+    def fit(self, features, targets) -> "RidgeRegression":
+        features, targets = self._validate_fit_inputs(features, targets)
+        if float(self.alpha) < 0:
+            raise ValidationError(f"alpha must be >= 0, got {self.alpha}")
+        self._num_features = features.shape[1]
+
+        if self.fit_intercept:
+            feature_mean = features.mean(axis=0)
+            target_mean = float(targets.mean())
+            centered = features - feature_mean
+            centered_targets = targets - target_mean
+        else:
+            centered = features
+            centered_targets = targets
+
+        gram = centered.T @ centered + float(self.alpha) * np.eye(features.shape[1])
+        self.coefficients_ = np.linalg.solve(gram, centered.T @ centered_targets)
+        if self.fit_intercept:
+            self.intercept_ = target_mean - float(feature_mean @ self.coefficients_)
+        else:
+            self.intercept_ = 0.0
+        return self
+
+    def predict(self, features) -> np.ndarray:
+        self._check_fitted("coefficients_")
+        features = self._validate_predict_inputs(features, self._num_features)
+        return features @ self.coefficients_ + self.intercept_

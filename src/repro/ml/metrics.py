@@ -1,0 +1,61 @@
+"""Regression metrics used to evaluate surrogate models (RMSE, MAE, R²)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_array, check_same_length
+
+
+def _validate_pair(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = check_array(y_true, name="y_true", ndim=1)
+    y_pred = check_array(y_pred, name="y_pred", ndim=1)
+    check_same_length(y_true, y_pred, names=("y_true", "y_pred"))
+    return y_true, y_pred
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    """Mean squared error between true and predicted targets."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def root_mean_squared_error(y_true, y_pred) -> float:
+    """Root mean squared error — the surrogate quality metric used throughout the paper."""
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean absolute error between true and predicted targets."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination.
+
+    Returns 0.0 when the true targets are constant and predictions are exact,
+    and a large negative number when they are constant but predictions differ —
+    matching the common convention while avoiding division by zero.
+    """
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    residual = float(np.sum((y_true - y_pred) ** 2))
+    total = float(np.sum((y_true - y_true.mean()) ** 2))
+    if total == 0.0:
+        return 0.0 if residual == 0.0 else -np.inf
+    return 1.0 - residual / total
+
+
+def pearson_correlation(x, y) -> float:
+    """Pearson correlation coefficient (used for the IoU-vs-RMSE analysis, Fig. 11)."""
+    x = check_array(x, name="x", ndim=1)
+    y = check_array(y, name="y", ndim=1)
+    check_same_length(x, y, names=("x", "y"))
+    if x.size < 2:
+        raise ValidationError("at least two samples are required for a correlation")
+    x_std = x.std()
+    y_std = y.std()
+    if x_std == 0.0 or y_std == 0.0:
+        return 0.0
+    return float(np.mean((x - x.mean()) * (y - y.mean())) / (x_std * y_std))

@@ -1,0 +1,223 @@
+"""Model selection: data splitting, K-fold cross-validation and grid search.
+
+The paper hyper-tunes its XGBoost surrogates with ``GridSearchCV`` over
+``learning_rate``, ``max_depth``, ``n_estimators`` and ``reg_lambda`` using
+K-fold cross-validation; this module provides the equivalent machinery.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ml.base import BaseEstimator, clone
+from repro.ml.metrics import root_mean_squared_error
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_array, check_in_range, check_same_length
+
+
+def train_test_split(
+    features,
+    targets,
+    test_size: float = 0.25,
+    random_state=None,
+    shuffle: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split features/targets into train and test subsets.
+
+    Returns ``(features_train, features_test, targets_train, targets_test)``.
+    """
+    features = check_array(features, name="features", ndim=2)
+    targets = check_array(targets, name="targets", ndim=1)
+    check_same_length(features, targets, names=("features", "targets"))
+    check_in_range(test_size, 0.0, 1.0, name="test_size", inclusive=False)
+
+    num_samples = features.shape[0]
+    num_test = max(1, int(round(test_size * num_samples)))
+    if num_test >= num_samples:
+        raise ValidationError("test_size leaves no training samples")
+
+    indices = np.arange(num_samples)
+    if shuffle:
+        indices = ensure_rng(random_state).permutation(num_samples)
+    test_idx = indices[:num_test]
+    train_idx = indices[num_test:]
+    return features[train_idx], features[test_idx], targets[train_idx], targets[test_idx]
+
+
+class KFold:
+    """Deterministic (optionally shuffled) K-fold splitter."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = False, random_state=None):
+        if n_splits < 2:
+            raise ValidationError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = int(n_splits)
+        self.shuffle = bool(shuffle)
+        self.random_state = random_state
+
+    def split(self, features) -> Iterable[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` pairs covering every sample once."""
+        features = np.asarray(features)
+        num_samples = features.shape[0]
+        if num_samples < self.n_splits:
+            raise ValidationError(
+                f"cannot split {num_samples} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(num_samples)
+        if self.shuffle:
+            indices = ensure_rng(self.random_state).permutation(num_samples)
+        fold_sizes = np.full(self.n_splits, num_samples // self.n_splits, dtype=int)
+        fold_sizes[: num_samples % self.n_splits] += 1
+        start = 0
+        for fold_size in fold_sizes:
+            test_idx = indices[start : start + fold_size]
+            train_idx = np.concatenate([indices[:start], indices[start + fold_size :]])
+            yield train_idx, test_idx
+            start += fold_size
+
+
+def cross_val_score(
+    estimator: BaseEstimator,
+    features,
+    targets,
+    cv: int = 5,
+    scoring: Callable[[np.ndarray, np.ndarray], float] = root_mean_squared_error,
+    shuffle: bool = True,
+    random_state=None,
+) -> np.ndarray:
+    """Cross-validated scores (lower-is-better metrics such as RMSE by default)."""
+    features = check_array(features, name="features", ndim=2)
+    targets = check_array(targets, name="targets", ndim=1)
+    check_same_length(features, targets, names=("features", "targets"))
+
+    folds = KFold(n_splits=cv, shuffle=shuffle, random_state=random_state)
+    scores = []
+    for train_idx, test_idx in folds.split(features):
+        model = clone(estimator)
+        model.fit(features[train_idx], targets[train_idx])
+        predictions = model.predict(features[test_idx])
+        scores.append(scoring(targets[test_idx], predictions))
+    return np.asarray(scores, dtype=np.float64)
+
+
+@dataclass
+class GridSearchResult:
+    """One evaluated hyper-parameter combination."""
+
+    params: Dict[str, object]
+    mean_score: float
+    std_score: float
+    fold_scores: np.ndarray = field(repr=False)
+
+
+class GridSearchCV:
+    """Exhaustive hyper-parameter search with K-fold cross-validation.
+
+    Parameters
+    ----------
+    estimator:
+        Prototype estimator; cloned for every parameter combination and fold.
+    param_grid:
+        Mapping from parameter name to the list of values to try.
+    cv:
+        Number of folds.
+    scoring:
+        Metric computed on each validation fold.  ``greater_is_better`` states
+        whether higher values are preferred (default: RMSE, lower is better).
+    refit:
+        Whether to refit ``best_estimator_`` on the full data after the search.
+    """
+
+    def __init__(
+        self,
+        estimator: BaseEstimator,
+        param_grid: Dict[str, Sequence],
+        cv: int = 3,
+        scoring: Callable[[np.ndarray, np.ndarray], float] = root_mean_squared_error,
+        greater_is_better: bool = False,
+        refit: bool = True,
+        shuffle: bool = True,
+        random_state=None,
+    ):
+        if not param_grid:
+            raise ValidationError("param_grid must contain at least one parameter")
+        self.estimator = estimator
+        self.param_grid = dict(param_grid)
+        self.cv = int(cv)
+        self.scoring = scoring
+        self.greater_is_better = bool(greater_is_better)
+        self.refit = bool(refit)
+        self.shuffle = bool(shuffle)
+        self.random_state = random_state
+
+        self.results_: List[GridSearchResult] = []
+        self.best_params_: Optional[Dict[str, object]] = None
+        self.best_score_: Optional[float] = None
+        self.best_estimator_: Optional[BaseEstimator] = None
+
+    def _parameter_combinations(self) -> Iterable[Dict[str, object]]:
+        names = list(self.param_grid.keys())
+        for values in itertools.product(*(self.param_grid[name] for name in names)):
+            yield dict(zip(names, values))
+
+    @property
+    def num_combinations(self) -> int:
+        """Number of hyper-parameter combinations the grid will evaluate."""
+        total = 1
+        for values in self.param_grid.values():
+            total *= len(values)
+        return total
+
+    def fit(self, features, targets) -> "GridSearchCV":
+        """Run the grid search and (optionally) refit the best model."""
+        features = check_array(features, name="features", ndim=2)
+        targets = check_array(targets, name="targets", ndim=1)
+        check_same_length(features, targets, names=("features", "targets"))
+
+        self.results_ = []
+        best: Optional[GridSearchResult] = None
+        for params in self._parameter_combinations():
+            candidate = clone(self.estimator).set_params(**params)
+            scores = cross_val_score(
+                candidate,
+                features,
+                targets,
+                cv=self.cv,
+                scoring=self.scoring,
+                shuffle=self.shuffle,
+                random_state=self.random_state,
+            )
+            result = GridSearchResult(
+                params=params,
+                mean_score=float(scores.mean()),
+                std_score=float(scores.std()),
+                fold_scores=scores,
+            )
+            self.results_.append(result)
+            if best is None or self._is_better(result.mean_score, best.mean_score):
+                best = result
+
+        assert best is not None  # param_grid is non-empty
+        self.best_params_ = dict(best.params)
+        self.best_score_ = best.mean_score
+        self.best_estimator_ = clone(self.estimator).set_params(**best.params)
+        if self.refit:
+            self.best_estimator_.fit(features, targets)
+        return self
+
+    def _is_better(self, candidate: float, incumbent: float) -> bool:
+        if self.greater_is_better:
+            return candidate > incumbent
+        return candidate < incumbent
+
+    def predict(self, features) -> np.ndarray:
+        """Predict with the refitted best estimator."""
+        if self.best_estimator_ is None:
+            raise NotFittedError("GridSearchCV must be fitted before predict()")
+        if not self.refit:
+            raise NotFittedError("GridSearchCV was configured with refit=False")
+        return self.best_estimator_.predict(features)

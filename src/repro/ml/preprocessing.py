@@ -1,0 +1,72 @@
+"""Feature scaling utilities (standardisation and min-max normalisation)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+from repro.utils.validation import check_array
+
+
+class StandardScaler:
+    """Standardise features to zero mean and unit variance.
+
+    Constant features are left centred but not scaled (their scale is forced
+    to 1) so transforming never divides by zero.
+    """
+
+    def __init__(self):
+        self.mean_ = None
+        self.scale_ = None
+
+    def fit(self, features) -> "StandardScaler":
+        features = check_array(features, name="features", ndim=2)
+        self.mean_ = features.mean(axis=0)
+        scale = features.std(axis=0)
+        self.scale_ = np.where(scale == 0.0, 1.0, scale)
+        return self
+
+    def transform(self, features) -> np.ndarray:
+        if self.mean_ is None:
+            raise NotFittedError("StandardScaler must be fitted before transform()")
+        features = check_array(features, name="features", ndim=2)
+        return (features - self.mean_) / self.scale_
+
+    def fit_transform(self, features) -> np.ndarray:
+        return self.fit(features).transform(features)
+
+    def inverse_transform(self, features) -> np.ndarray:
+        if self.mean_ is None:
+            raise NotFittedError("StandardScaler must be fitted before inverse_transform()")
+        features = check_array(features, name="features", ndim=2)
+        return features * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale features to the ``[0, 1]`` range; constant features map to 0."""
+
+    def __init__(self):
+        self.min_ = None
+        self.range_ = None
+
+    def fit(self, features) -> "MinMaxScaler":
+        features = check_array(features, name="features", ndim=2)
+        self.min_ = features.min(axis=0)
+        data_range = features.max(axis=0) - self.min_
+        self.range_ = np.where(data_range == 0.0, 1.0, data_range)
+        return self
+
+    def transform(self, features) -> np.ndarray:
+        if self.min_ is None:
+            raise NotFittedError("MinMaxScaler must be fitted before transform()")
+        features = check_array(features, name="features", ndim=2)
+        return (features - self.min_) / self.range_
+
+    def fit_transform(self, features) -> np.ndarray:
+        return self.fit(features).transform(features)
+
+    def inverse_transform(self, features) -> np.ndarray:
+        if self.min_ is None:
+            raise NotFittedError("MinMaxScaler must be fitted before inverse_transform()")
+        features = check_array(features, name="features", ndim=2)
+        return features * self.range_ + self.min_

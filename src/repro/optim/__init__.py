@@ -1,0 +1,18 @@
+"""Evolutionary / swarm optimisation substrate.
+
+Contains the Glowworm Swarm Optimization (GSO) algorithm the paper builds on
+(multimodal — converges to many local optima simultaneously) and a standard
+Particle Swarm Optimization (PSO) used as a unimodal ablation.
+"""
+
+from repro.optim.gso import GlowwormSwarmOptimizer, GSOParameters
+from repro.optim.pso import ParticleSwarmOptimizer, PSOParameters
+from repro.optim.result import OptimizationResult
+
+__all__ = [
+    "GlowwormSwarmOptimizer",
+    "GSOParameters",
+    "ParticleSwarmOptimizer",
+    "PSOParameters",
+    "OptimizationResult",
+]

@@ -1,0 +1,312 @@
+"""Glowworm Swarm Optimization (Krishnanand & Ghose, 2009).
+
+GSO is the multimodal swarm optimiser the paper uses to find *many* regions of
+interest at once.  Each particle ("glowworm") carries a luciferin level that
+tracks its fitness (Eq. 6 of the paper); particles move towards brighter
+neighbours inside an adaptive local-decision radius (Eq. 7), which lets the
+swarm split into groups that converge to different local optima.
+
+This implementation adds the paper's two extensions:
+
+* fitness values of ``-inf`` (infeasible regions under the log objective,
+  Eq. 4) are handled by letting luciferin simply decay, so infeasible
+  particles never attract neighbours but can still be pulled towards feasible
+  ones;
+* neighbour-selection probabilities can be re-weighted by the data mass of
+  the neighbour's region (Eq. 8) via the ``selection_weight`` callback.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.optim.result import OptimizationResult
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_array
+
+
+@dataclass
+class GSOParameters:
+    """Hyper-parameters of the glowworm swarm.
+
+    Defaults follow the original GSO paper and the values SuRF uses:
+    ``rho = 0.4``, ``gamma = 0.6``, initial luciferin 5.0, ``beta = 0.08`` and
+    a desired neighbourhood size of 5.
+    """
+
+    num_particles: int = 100
+    num_iterations: int = 100
+    luciferin_decay: float = 0.4
+    luciferin_gain: float = 0.6
+    initial_luciferin: float = 5.0
+    step_size: float = 0.03
+    initial_radius: Optional[float] = None
+    max_radius: Optional[float] = None
+    radius_gain: float = 0.08
+    desired_neighbours: int = 5
+    convergence_tolerance: float = 1e-3
+    convergence_patience: int = 15
+    min_iterations: int = 30
+    #: Isolated particles sitting on an undefined (infeasible) objective value take a
+    #: random step instead of staying frozen, so a swarm that starts with no feasible
+    #: particle can still discover the feasible set.
+    explore_when_isolated: bool = True
+    random_state: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_particles < 2:
+            raise ValidationError(f"num_particles must be >= 2, got {self.num_particles}")
+        if self.num_iterations < 1:
+            raise ValidationError(f"num_iterations must be >= 1, got {self.num_iterations}")
+        if not 0 < self.luciferin_decay < 1:
+            raise ValidationError(f"luciferin_decay must be in (0, 1), got {self.luciferin_decay}")
+        if self.luciferin_gain <= 0:
+            raise ValidationError(f"luciferin_gain must be > 0, got {self.luciferin_gain}")
+        if self.step_size <= 0:
+            raise ValidationError(f"step_size must be > 0, got {self.step_size}")
+        if self.desired_neighbours < 1:
+            raise ValidationError(f"desired_neighbours must be >= 1, got {self.desired_neighbours}")
+
+    @staticmethod
+    def recommended_radius(num_particles: int, dim: int) -> float:
+        """Radius heuristic the paper adopts: ``(1 - 0.5**(1/L))**(1/d)``.
+
+        Derived from the expected edge length needed for each particle to see a
+        constant expected number of neighbours in a unit cube (Friedman et al.,
+        Elements of Statistical Learning, Eq. 2.24).
+        """
+        num_particles = max(2, int(num_particles))
+        dim = max(1, int(dim))
+        return float((1.0 - 0.5 ** (1.0 / num_particles)) ** (1.0 / dim))
+
+    @classmethod
+    def for_dimension(cls, dim: int, **overrides) -> "GSOParameters":
+        """Parameters scaled to the region-solution-space dimensionality.
+
+        The paper increases the swarm with dimensionality (``L = 50 d`` over the
+        2d-dimensional solution space) and sets the initial radius with the
+        heuristic above.
+        """
+        dim = max(1, int(dim))
+        num_particles = overrides.pop("num_particles", 50 * dim)
+        radius = cls.recommended_radius(num_particles, dim)
+        defaults = dict(
+            num_particles=num_particles,
+            initial_radius=radius,
+            max_radius=max(radius * 3.0, 1.0),
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+
+class GlowwormSwarmOptimizer:
+    """Multimodal maximiser over a box-bounded continuous solution space.
+
+    Parameters
+    ----------
+    objective:
+        Callable mapping a solution vector (shape ``(D,)``) to a scalar fitness.
+        ``-inf`` / ``nan`` mark infeasible solutions.
+    lower_bounds / upper_bounds:
+        Box constraints of the solution space (positions are clipped to stay inside).
+    parameters:
+        :class:`GSOParameters`; defaults are created if omitted.
+    batch_objective:
+        Optional vectorised fitness over a ``(L, D)`` matrix returning ``(L,)``
+        values.  Used in preference to ``objective`` for the per-iteration
+        swarm evaluation (a large speed-up for surrogate models).
+    selection_weight:
+        Optional callable giving a positive weight for a candidate neighbour's
+        position; selection probabilities are multiplied by it (Eq. 8 uses the
+        KDE region mass here).
+    batch_selection_weight:
+        Optional vectorised version of ``selection_weight`` over a ``(L, D)``
+        matrix; evaluated once per iteration for the whole swarm.
+    initial_positions:
+        Optional explicit start positions of shape ``(L, D)``.
+    """
+
+    def __init__(
+        self,
+        objective: Callable[[np.ndarray], float],
+        lower_bounds: Sequence[float],
+        upper_bounds: Sequence[float],
+        parameters: Optional[GSOParameters] = None,
+        batch_objective: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        selection_weight: Optional[Callable[[np.ndarray], float]] = None,
+        batch_selection_weight: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        initial_positions: Optional[np.ndarray] = None,
+    ):
+        self.objective = objective
+        self.batch_objective = batch_objective
+        self.lower_bounds = check_array(lower_bounds, name="lower_bounds", ndim=1)
+        self.upper_bounds = check_array(upper_bounds, name="upper_bounds", ndim=1)
+        if self.lower_bounds.shape != self.upper_bounds.shape:
+            raise ValidationError("lower_bounds and upper_bounds must have the same shape")
+        if np.any(self.upper_bounds <= self.lower_bounds):
+            raise ValidationError("upper_bounds must exceed lower_bounds in every dimension")
+        self.dim = self.lower_bounds.shape[0]
+        self.parameters = parameters or GSOParameters()
+        self.selection_weight = selection_weight
+        self.batch_selection_weight = batch_selection_weight
+        self._initial_positions = initial_positions
+        self._evaluations = 0
+
+    # ------------------------------------------------------------------ helpers
+    def _evaluate(self, position: np.ndarray) -> float:
+        self._evaluations += 1
+        value = self.objective(position)
+        if value is None or np.isnan(value):
+            return -np.inf
+        return float(value)
+
+    def _evaluate_all(self, positions: np.ndarray) -> np.ndarray:
+        if self.batch_objective is not None:
+            self._evaluations += positions.shape[0]
+            values = np.asarray(self.batch_objective(positions), dtype=np.float64)
+            return np.where(np.isnan(values), -np.inf, values)
+        return np.asarray([self._evaluate(position) for position in positions])
+
+    def _selection_weights(self, positions: np.ndarray) -> Optional[np.ndarray]:
+        """Per-particle selection weights (Eq. 8), or ``None`` when not configured."""
+        if self.batch_selection_weight is not None:
+            weights = np.asarray(self.batch_selection_weight(positions), dtype=np.float64)
+            return np.clip(np.nan_to_num(weights, nan=0.0), 0.0, None)
+        if self.selection_weight is not None:
+            weights = np.asarray(
+                [max(0.0, float(self.selection_weight(position))) for position in positions]
+            )
+            return weights
+        return None
+
+    def _initial_swarm(self, rng: np.random.Generator) -> np.ndarray:
+        params = self.parameters
+        if self._initial_positions is not None:
+            positions = check_array(self._initial_positions, name="initial_positions", ndim=2)
+            if positions.shape != (params.num_particles, self.dim):
+                raise ValidationError(
+                    f"initial_positions must have shape ({params.num_particles}, {self.dim}), "
+                    f"got {positions.shape}"
+                )
+            return np.clip(positions.copy(), self.lower_bounds, self.upper_bounds)
+        return rng.uniform(self.lower_bounds, self.upper_bounds, size=(params.num_particles, self.dim))
+
+    # ------------------------------------------------------------------ main loop
+    def run(self) -> OptimizationResult:
+        """Execute the swarm and return the final particle population."""
+        params = self.parameters
+        rng = ensure_rng(params.random_state)
+        self._evaluations = 0
+
+        extent = float(np.mean(self.upper_bounds - self.lower_bounds))
+        step = params.step_size * extent
+        initial_radius = params.initial_radius
+        if initial_radius is None:
+            initial_radius = GSOParameters.recommended_radius(params.num_particles, self.dim) * extent
+        max_radius = params.max_radius
+        if max_radius is None:
+            max_radius = 3.0 * initial_radius
+
+        positions = self._initial_swarm(rng)
+        initial_positions = positions.copy()
+        luciferin = np.full(params.num_particles, params.initial_luciferin)
+        radii = np.full(params.num_particles, initial_radius)
+        fitness = self._evaluate_all(positions)
+
+        mean_history: list[float] = []
+        feasible_history: list[float] = []
+        best_mean = -np.inf
+        best_feasible_fraction = 0.0
+        stall = 0
+        converged = False
+        start = time.perf_counter()
+
+        iterations_done = 0
+        for iteration in range(params.num_iterations):
+            iterations_done = iteration + 1
+            # Phase 1 — luciferin update (Eq. 6). Infeasible particles only decay.
+            finite = np.isfinite(fitness)
+            luciferin = (1.0 - params.luciferin_decay) * luciferin
+            luciferin[finite] += params.luciferin_gain * fitness[finite]
+
+            # Phase 2 — movement towards brighter neighbours (Eq. 7 / Eq. 8).
+            new_positions = positions.copy()
+            distances = np.linalg.norm(positions[:, None, :] - positions[None, :, :], axis=2)
+            selection_weights = self._selection_weights(positions)
+            for i in range(params.num_particles):
+                neighbour_mask = (distances[i] <= radii[i]) & (luciferin > luciferin[i])
+                neighbour_mask[i] = False
+                neighbours = np.flatnonzero(neighbour_mask)
+                if neighbours.size:
+                    gaps = luciferin[neighbours] - luciferin[i]
+                    weights = gaps.astype(np.float64)
+                    if selection_weights is not None:
+                        weights = weights * selection_weights[neighbours]
+                    total = weights.sum()
+                    if total <= 0:
+                        probabilities = np.full(neighbours.size, 1.0 / neighbours.size)
+                    else:
+                        probabilities = weights / total
+                    chosen = int(rng.choice(neighbours, p=probabilities))
+                    direction = positions[chosen] - positions[i]
+                    norm = np.linalg.norm(direction)
+                    if norm > 1e-12:
+                        new_positions[i] = positions[i] + step * direction / norm
+                elif params.explore_when_isolated and not np.isfinite(fitness[i]):
+                    # Isolated + infeasible: random walk so the particle keeps exploring.
+                    direction = rng.normal(size=self.dim)
+                    norm = np.linalg.norm(direction)
+                    if norm > 1e-12:
+                        new_positions[i] = positions[i] + step * direction / norm
+                # Adaptive decision radius.
+                radii[i] = float(
+                    np.clip(
+                        radii[i] + params.radius_gain * (params.desired_neighbours - neighbours.size),
+                        1e-6,
+                        max_radius,
+                    )
+                )
+
+            positions = np.clip(new_positions, self.lower_bounds, self.upper_bounds)
+            fitness = self._evaluate_all(positions)
+
+            finite = np.isfinite(fitness)
+            mean_fitness = float(fitness[finite].mean()) if np.any(finite) else float("nan")
+            feasible_fraction = float(np.mean(finite))
+            mean_history.append(mean_fitness)
+            feasible_history.append(feasible_fraction)
+
+            # Early stopping: neither the swarm's mean fitness nor the fraction of
+            # feasible particles has improved for ``convergence_patience`` iterations.
+            improved = False
+            if np.isfinite(mean_fitness) and mean_fitness > best_mean + params.convergence_tolerance:
+                best_mean = mean_fitness
+                improved = True
+            if feasible_fraction > best_feasible_fraction + 1e-9:
+                best_feasible_fraction = feasible_fraction
+                improved = True
+            if improved:
+                stall = 0
+            else:
+                stall += 1
+                if iterations_done >= params.min_iterations and stall >= params.convergence_patience:
+                    converged = True
+                    break
+
+        elapsed = time.perf_counter() - start
+        return OptimizationResult(
+            positions=positions,
+            fitness=fitness,
+            initial_positions=initial_positions,
+            mean_fitness_history=mean_history,
+            feasible_fraction_history=feasible_history,
+            num_iterations=iterations_done,
+            converged=converged,
+            function_evaluations=self._evaluations,
+            elapsed_seconds=elapsed,
+        )

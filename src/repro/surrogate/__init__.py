@@ -1,0 +1,23 @@
+"""Surrogate-model layer: workload generation, training and the fitted wrapper.
+
+SuRF trains a regression model on *past region evaluations* — pairs of a
+region vector ``[x, l]`` and the statistic ``y`` the back-end returned for it —
+and afterwards answers region statistics without touching the data at all.
+"""
+
+from repro.surrogate.features import augment_region_vectors, augmented_feature_dim
+from repro.surrogate.model import SurrogateModel
+from repro.surrogate.training import SurrogateTrainer, TrainingReport, default_param_grid
+from repro.surrogate.workload import RegionEvaluation, RegionWorkload, generate_workload
+
+__all__ = [
+    "SurrogateModel",
+    "SurrogateTrainer",
+    "TrainingReport",
+    "default_param_grid",
+    "RegionEvaluation",
+    "RegionWorkload",
+    "generate_workload",
+    "augment_region_vectors",
+    "augmented_feature_dim",
+]

@@ -1,0 +1,40 @@
+"""Feature engineering for surrogate models.
+
+The paper trains surrogates directly on the ``[x, l]`` region vector.  Tree
+ensembles, however, struggle to represent the multiplicative structure of many
+region statistics (e.g. a count is roughly *local density × volume*) from
+axis-aligned splits on centres and half lengths alone.  Appending the region's
+corners and its log-volume — quantities that are pure functions of ``[x, l]``,
+so no extra information is required from the analyst — markedly reduces the
+surrogate's RMSE and is enabled by default (see DESIGN.md for the ablation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def augment_region_vectors(vectors: np.ndarray) -> np.ndarray:
+    """Append derived features to raw ``[x, l]`` region vectors.
+
+    For input of shape ``(n, 2d)`` the output has shape ``(n, 4d + 1)``:
+    the original vector, the lower corner ``x - l``, the upper corner ``x + l``
+    and the log-volume ``Σ_i log(2 l_i)``.
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if vectors.ndim != 2 or vectors.shape[1] % 2 != 0:
+        raise ValidationError(f"vectors must have shape (n, 2d), got {vectors.shape}")
+    dim = vectors.shape[1] // 2
+    centers = vectors[:, :dim]
+    halves = vectors[:, dim:]
+    if np.any(halves <= 0):
+        halves = np.maximum(halves, 1e-12)
+    log_volume = np.sum(np.log(2.0 * halves), axis=1, keepdims=True)
+    return np.hstack([vectors, centers - halves, centers + halves, log_volume])
+
+
+def augmented_feature_dim(region_dim: int) -> int:
+    """Number of columns produced by :func:`augment_region_vectors` for ``d`` dimensions."""
+    return 4 * int(region_dim) + 1

@@ -1,0 +1,76 @@
+"""Saving and loading workloads and trained surrogate models.
+
+Surrogates are meant to be trained once (possibly on a beefier machine) and
+then shipped to analysts, so the library provides a small persistence layer:
+
+* workloads (past region evaluations) are stored as ``.npz`` archives holding
+  the feature matrix and target vector — portable and inspectable;
+* trained :class:`~repro.surrogate.model.SurrogateModel` objects are stored
+  with :mod:`pickle`, which is sufficient because every estimator in
+  :mod:`repro.ml` is a plain Python object.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.data.regions import Region
+from repro.exceptions import ValidationError
+from repro.surrogate.model import SurrogateModel
+from repro.surrogate.workload import RegionEvaluation, RegionWorkload
+
+PathLike = Union[str, Path]
+
+
+def save_workload(workload: RegionWorkload, path: PathLike) -> Path:
+    """Write a workload to ``path`` as a ``.npz`` archive and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, features=workload.features, targets=workload.targets)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_workload(path: PathLike) -> RegionWorkload:
+    """Load a workload previously written by :func:`save_workload`."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        if "features" not in archive or "targets" not in archive:
+            raise ValidationError(f"{path} is not a workload archive (missing features/targets)")
+        features = archive["features"]
+        targets = archive["targets"]
+    if features.ndim != 2 or features.shape[1] % 2 != 0:
+        raise ValidationError(f"workload archive has malformed features of shape {features.shape}")
+    if targets.shape[0] != features.shape[0]:
+        raise ValidationError("workload archive features and targets have different lengths")
+    dim = features.shape[1] // 2
+    evaluations = [
+        RegionEvaluation(Region(vector[:dim], vector[dim:]), float(target))
+        for vector, target in zip(features, targets)
+    ]
+    return RegionWorkload(evaluations)
+
+
+def save_surrogate(surrogate: SurrogateModel, path: PathLike) -> Path:
+    """Serialise a trained surrogate model to ``path`` with pickle."""
+    if not isinstance(surrogate, SurrogateModel):
+        raise ValidationError(f"expected a SurrogateModel, got {type(surrogate)!r}")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as handle:
+        pickle.dump(surrogate, handle)
+    return path
+
+
+def load_surrogate(path: PathLike) -> SurrogateModel:
+    """Load a surrogate model previously written by :func:`save_surrogate`."""
+    with open(path, "rb") as handle:
+        surrogate = pickle.load(handle)
+    if not isinstance(surrogate, SurrogateModel):
+        raise ValidationError(f"{path} does not contain a SurrogateModel")
+    return surrogate

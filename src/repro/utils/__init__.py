@@ -1,0 +1,20 @@
+"""Small shared utilities: random-number handling and argument validation."""
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.validation import (
+    check_array,
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_same_length,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rng",
+    "check_array",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+    "check_same_length",
+]

@@ -1,0 +1,53 @@
+"""Random-number-generator helpers.
+
+Every stochastic component in the library accepts a ``random_state`` argument
+that may be ``None``, an integer seed, or a :class:`numpy.random.Generator`.
+These helpers normalise that argument so components never construct global
+random state implicitly, keeping experiments reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RandomStateLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(random_state: RandomStateLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``random_state``.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` for non-deterministic behaviour, an ``int`` seed for a fresh
+        deterministic generator, or an existing generator which is returned
+        unchanged (so callers can share a stream).
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, (int, np.integer)):
+        return np.random.default_rng(int(random_state))
+    raise TypeError(
+        f"random_state must be None, an int or a numpy Generator, got {type(random_state)!r}"
+    )
+
+
+def spawn_rng(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``count`` independent child generators.
+
+    Used when a parallel-looking computation (e.g. per-tree bootstraps in a
+    random forest) must be reproducible regardless of evaluation order.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(seed)) for seed in seeds]
+
+
+def optional_seed(rng: np.random.Generator) -> int:
+    """Draw an integer seed from ``rng`` suitable for seeding a child component."""
+    return int(rng.integers(0, 2**31 - 1))

@@ -1,0 +1,145 @@
+"""Integration tests covering the full SuRF pipeline and method comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.naive import NaiveGridSearch
+from repro.baselines.true_gso import TrueFunctionGSO
+from repro.core.evaluation import average_iou, compliance_rate
+from repro.core.finder import SuRF
+from repro.core.query import RegionQuery
+from repro.data.engine import DataEngine
+from repro.data.real import ACTIVITY_CLASSES, activity_stand_region, make_activity_like, make_crimes_like
+from repro.data.statistics import CountStatistic, RatioStatistic
+from repro.data.synthetic import make_synthetic_dataset
+from repro.ml.boosting import GradientBoostingRegressor
+from repro.optim.gso import GSOParameters
+from repro.surrogate.training import SurrogateTrainer
+from repro.surrogate.workload import generate_workload
+
+
+FAST_GSO = GSOParameters(num_particles=50, num_iterations=30, random_state=0)
+
+
+def fast_surf(random_state=0, **kwargs):
+    return SuRF(
+        trainer=SurrogateTrainer(
+            estimator=GradientBoostingRegressor(n_estimators=50, max_depth=4, random_state=random_state),
+            random_state=random_state,
+        ),
+        gso_parameters=FAST_GSO,
+        random_state=random_state,
+        **kwargs,
+    )
+
+
+class TestDensityPipeline:
+    def test_multimodal_density_mining(self):
+        synthetic = make_synthetic_dataset(
+            statistic="density", dim=1, num_regions=3, num_points=4_000, random_state=1
+        )
+        engine = DataEngine(synthetic.dataset, synthetic.statistic)
+        finder = fast_surf().fit(
+            generate_workload(engine, 800, random_state=0),
+            data_sample=engine.dataset.sample(500, random_state=0).values,
+        )
+        query = RegionQuery(threshold=synthetic.suggested_threshold(), direction="above")
+        result = finder.find_regions(query)
+        iou = average_iou(result.all_feasible_regions(), synthetic.ground_truth_regions)
+        assert result.optimization.feasible_fraction > 0.3
+        assert iou > 0.15
+        assert compliance_rate(result.proposals, engine, query) >= 0.5
+
+    def test_surf_close_to_true_function_gso(self):
+        """The paper's headline accuracy claim: SuRF ≈ f+GlowWorm."""
+        synthetic = make_synthetic_dataset(
+            statistic="density", dim=2, num_regions=1, num_points=4_000, random_state=2
+        )
+        engine = DataEngine(synthetic.dataset, synthetic.statistic)
+        query = RegionQuery(threshold=synthetic.suggested_threshold(), direction="above")
+
+        finder = fast_surf().fit(generate_workload(engine, 1_500, random_state=0))
+        surf_result = finder.find_regions(query)
+        surf_iou = average_iou(surf_result.all_feasible_regions(), synthetic.ground_truth_regions)
+
+        baseline = TrueFunctionGSO(gso_parameters=FAST_GSO, random_state=0)
+        baseline.find_regions(engine, query)
+        from repro.data.regions import Region
+
+        true_regions = [
+            Region.from_vector(v) for v in baseline.last_result_.optimization.feasible_positions
+        ]
+        true_iou = average_iou(true_regions, synthetic.ground_truth_regions)
+
+        assert surf_iou > 0.1
+        assert surf_iou >= 0.4 * true_iou
+
+    def test_surf_query_time_independent_of_data_size(self):
+        """Table I's shape: SuRF query time does not grow with N (no data access)."""
+        times = {}
+        for num_points in (2_000, 8_000):
+            synthetic = make_synthetic_dataset(
+                statistic="density", dim=2, num_regions=1, num_points=num_points, random_state=3
+            )
+            engine = DataEngine(synthetic.dataset, synthetic.statistic)
+            finder = fast_surf(use_density_guidance=False).fit(
+                generate_workload(engine, 800, random_state=0)
+            )
+            query = RegionQuery(threshold=synthetic.suggested_threshold(), direction="above")
+            result = finder.find_regions(query)
+            times[num_points] = result.elapsed_seconds
+        assert times[8_000] < 5 * times[2_000] + 0.5
+
+    def test_naive_is_much_slower_per_evaluation_budget(self):
+        synthetic = make_synthetic_dataset(
+            statistic="density", dim=2, num_regions=1, num_points=3_000, random_state=4
+        )
+        engine = DataEngine(synthetic.dataset, synthetic.statistic)
+        query = RegionQuery(threshold=synthetic.suggested_threshold(), direction="above")
+        naive = NaiveGridSearch(num_centers=6, num_lengths=6, max_half_fraction=0.3)
+        engine.reset_evaluation_counter()
+        naive.find_regions(engine, query)
+        naive_evaluations = engine.num_evaluations
+        # The naive grid needs (6·6)^2 = 1296 exact evaluations; SuRF needs none at query time.
+        assert naive_evaluations == 36**2
+
+
+class TestAggregatePipeline:
+    def test_aggregate_statistic_mining(self):
+        synthetic = make_synthetic_dataset(
+            statistic="aggregate", dim=1, num_regions=1, num_points=4_000, random_state=5
+        )
+        engine = DataEngine(synthetic.dataset, synthetic.statistic)
+        finder = fast_surf(use_density_guidance=False).fit(generate_workload(engine, 800, random_state=0))
+        query = RegionQuery(threshold=synthetic.suggested_threshold(), direction="above")
+        result = finder.find_regions(query)
+        assert result.optimization.feasible_fraction > 0.1
+        assert compliance_rate(result.proposals, engine, query) > 0.5
+
+
+class TestRealDataPipelines:
+    def test_crimes_like_q3_query_is_compliant(self):
+        crimes = make_crimes_like(num_points=8_000, random_state=0)
+        engine = DataEngine(crimes, CountStatistic())
+        threshold = float(np.quantile(engine.statistic_sample(100, random_state=0), 0.75))
+        finder = fast_surf().fit(
+            generate_workload(engine, 800, random_state=0),
+            data_sample=crimes.sample(800, random_state=0).values,
+        )
+        query = RegionQuery(threshold=threshold, direction="above")
+        result = finder.find_regions(query)
+        assert result.num_regions >= 1
+        # The paper reports 100 % compliance on Crimes; allow a small slack here.
+        assert compliance_rate(result.proposals, engine, query) >= 0.6
+
+    def test_activity_ratio_query(self):
+        activity = make_activity_like(num_points=6_000, random_state=1)
+        statistic = RatioStatistic("activity", positive_value=ACTIVITY_CLASSES["stand"])
+        engine = DataEngine(activity, statistic)
+        finder = fast_surf(use_density_guidance=False).fit(generate_workload(engine, 900, random_state=0))
+        query = RegionQuery(threshold=0.3, direction="above", size_penalty=2.0)
+        result = finder.find_regions(query)
+        if result.proposals:
+            best = result.best()
+            # Proposed high-ratio regions should sit near the planted "stand" cluster.
+            assert best.region.intersects(activity_stand_region())

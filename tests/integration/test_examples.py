@@ -1,0 +1,40 @@
+"""Integration tests that execute every example script end-to-end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(path: Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=900,
+        check=False,
+    )
+
+
+def test_examples_directory_has_expected_scripts():
+    names = {path.name for path in EXAMPLE_SCRIPTS}
+    assert {"quickstart.py", "crime_hotspots.py", "activity_regions.py", "classification_boundaries.py"} <= names
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS, ids=lambda path: path.name)
+def test_example_runs_successfully(script):
+    result = run_example(script)
+    assert result.returncode == 0, f"{script.name} failed:\n{result.stdout}\n{result.stderr}"
+    assert result.stdout.strip(), f"{script.name} produced no output"
+
+
+def test_quickstart_reports_key_metrics():
+    result = run_example(EXAMPLES_DIR / "quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "average IoU" in result.stdout
+    assert "compliance" in result.stdout
+    assert "proposed regions" in result.stdout

@@ -1,0 +1,227 @@
+"""Integration tests for the experiment runners (one per paper table/figure).
+
+These run every experiment at a deliberately tiny scale and check the
+*structure* of the output plus the coarse qualitative claims (e.g. SuRF is not
+slower than data-driven baselines at the largest setting measured).  The
+benchmark harness reuses the same runners at larger scales.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    fig1_particles,
+    fig3_accuracy,
+    fig4_aggregates,
+    fig5_crimes,
+    fig6_training,
+    fig7_objectives,
+    fig8_c_sensitivity,
+    fig9_convergence,
+    fig10_gso_cost,
+    fig11_surrogate_quality,
+    fig12_model_complexity,
+    table1_scalability,
+)
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.reporting import format_table, summarize_rows
+
+TINY = ExperimentScale(
+    name="tiny",
+    num_points=1_500,
+    workload_size=250,
+    num_particles=30,
+    num_iterations=20,
+    naive_max_candidates=300,
+    time_budget_seconds=2.0,
+)
+
+
+class TestRegistryAndReporting:
+    def test_registry_covers_every_table_and_figure(self):
+        expected = {"fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table1"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_every_registered_experiment_has_a_run_callable(self):
+        for module in EXPERIMENTS.values():
+            assert callable(getattr(module, "run"))
+
+    def test_get_scale_by_name_and_passthrough(self):
+        assert get_scale("small").name == "small"
+        assert get_scale(TINY) is TINY
+        with pytest.raises(Exception):
+            get_scale("gigantic")
+
+    def test_format_table_renders_all_columns(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.0}]
+        text = format_table(rows, title="demo")
+        assert "demo" in text
+        assert "a" in text and "b" in text
+        assert len(text.splitlines()) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_summarize_rows_groups_and_averages(self):
+        rows = [
+            {"method": "SuRF", "iou": 0.5},
+            {"method": "SuRF", "iou": 0.7},
+            {"method": "Naive", "iou": 0.2},
+        ]
+        summary = summarize_rows(rows, group_by=("method",), value="iou")
+        surf = next(entry for entry in summary if entry["method"] == "SuRF")
+        assert surf["mean_iou"] == pytest.approx(0.6)
+        assert surf["count"] == 2
+
+
+class TestFigure1:
+    def test_outputs_and_compliance(self):
+        outcome = fig1_particles.run(scale=TINY, random_state=3)
+        assert outcome["num_particles"] == TINY.num_particles
+        assert 0.0 <= outcome["surrogate_feasible_fraction"] <= 1.0
+        assert 0.0 <= outcome["true_satisfied_fraction"] <= 1.0
+        assert outcome["final_positions"].shape == outcome["initial_positions"].shape
+
+
+class TestFigure3And4:
+    @pytest.fixture(scope="class")
+    def fig3_rows(self):
+        return fig3_accuracy.run(
+            scale=TINY,
+            dims=(1, 2),
+            region_counts=(1,),
+            statistics=("density",),
+            methods=("SuRF", "Naive", "PRIM", "f+GlowWorm"),
+            random_state=2,
+        )
+
+    def test_row_structure(self, fig3_rows):
+        assert len(fig3_rows) == 2 * 1 * 1 * 4
+        for row in fig3_rows:
+            assert set(row) >= {"statistic", "dim", "k", "method", "iou", "seconds"}
+            assert 0.0 <= row["iou"] <= 1.0
+
+    def test_gso_methods_beat_prim_on_density(self, fig3_rows):
+        """PRIM cannot target the density statistic — the paper's Fig. 3 observation."""
+        by_method = summarize_rows(fig3_rows, group_by=("method",), value="iou")
+        prim = next(entry for entry in by_method if entry["method"] == "PRIM")
+        surf = next(entry for entry in by_method if entry["method"] == "SuRF")
+        assert surf["mean_iou"] >= prim["mean_iou"]
+
+    def test_fig4_aggregations(self, fig3_rows):
+        outcome = fig4_aggregates.run(rows=fig3_rows)
+        assert {entry["method"] for entry in outcome["by_regions"]} == {"SuRF", "Naive", "PRIM", "f+GlowWorm"}
+        assert all("mean_iou" in entry for entry in outcome["by_statistic"])
+
+
+class TestFigure5:
+    def test_crimes_compliance(self):
+        outcome = fig5_crimes.run(scale=TINY, random_state=1)
+        assert outcome["num_proposals"] >= 1
+        assert 0.0 <= outcome["compliance"] <= 1.0
+        assert outcome["threshold"] > 0
+
+
+class TestFigure6:
+    def test_hypertuning_costs_more(self):
+        rows = fig6_training.run(scale=TINY, workload_sizes=(100, 200), random_state=0)
+        assert len(rows) == 4
+        for size in (100, 200):
+            plain = next(r for r in rows if r["workload_size"] == size and not r["hypertuned"])
+            tuned = next(r for r in rows if r["workload_size"] == size and r["hypertuned"])
+            assert tuned["training_seconds"] > plain["training_seconds"]
+
+
+class TestFigure7:
+    def test_log_objective_rejects_infeasible_area(self):
+        rows = fig7_objectives.run(scale=TINY, c_values=(1.0, 4.0), num_centers=20, num_lengths=15)
+        log_rows = [row for row in rows if row["objective"] == "log"]
+        ratio_rows = [row for row in rows if row["objective"] == "ratio"]
+        # Eq. 4 leaves part of the grid undefined; Eq. 2 is defined everywhere.
+        assert all(row["defined_fraction"] < 1.0 for row in log_rows)
+        assert all(row["defined_fraction"] == pytest.approx(1.0) for row in ratio_rows)
+
+
+class TestFigure8:
+    def test_viable_fraction_shrinks_with_c(self):
+        rows = fig8_c_sensitivity.run(scale=TINY, c_values=(0.25, 2.0), num_solutions=400, random_state=3)
+        assert len(rows) == 2
+        low_c = next(row for row in rows if row["c"] == 0.25)
+        high_c = next(row for row in rows if row["c"] == 2.0)
+        assert high_c["viable_fraction"] <= low_c["viable_fraction"] + 0.05
+
+
+class TestFigure9And10:
+    def test_convergence_rows(self):
+        rows = fig9_convergence.run(scale=TINY, dims=(1, 2), region_counts=(1,), random_state=4)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["iterations"] <= TINY.num_iterations
+            assert len(row["mean_objective_history"]) == row["iterations"]
+        assert np.isfinite(fig9_convergence.average_iterations(rows))
+
+    def test_gso_cost_grows_with_budget(self):
+        rows = fig10_gso_cost.run(
+            scale=TINY, dims=(1,), particle_counts=(20, 60), iteration_counts=(10, 40), random_state=5
+        )
+        particle_rows = [row for row in rows if row["sweep"] == "particles"]
+        small = next(r for r in particle_rows if r["num_particles"] == 20)
+        large = next(r for r in particle_rows if r["num_particles"] == 60)
+        assert large["seconds"] > small["seconds"]
+
+
+class TestFigure11And12:
+    def test_learning_curves_improve_with_data(self):
+        rows = fig11_surrogate_quality.run_learning_curves(
+            scale=TINY, dims=(2,), workload_sizes=(80, 400), random_state=6
+        )
+        small = next(r for r in rows if r["workload_size"] == 80)
+        large = next(r for r in rows if r["workload_size"] == 400)
+        assert large["rmse"] <= small["rmse"] * 1.2
+
+    def test_correlation_output_structure(self):
+        outcome = fig11_surrogate_quality.run_correlation(
+            scale=TINY, workload_sizes=(100, 300), max_depths=(2, 5), random_state=7
+        )
+        assert len(outcome["rows"]) == 4
+        assert -1.0 <= outcome["pearson_correlation"] <= 1.0
+
+    def test_model_complexity_reduces_training_error(self):
+        rows = fig12_model_complexity.run(scale=TINY, max_depths=(1, 6), random_state=8)
+        shallow = next(r for r in rows if r["max_depth"] == 1)
+        deep = next(r for r in rows if r["max_depth"] == 6)
+        assert deep["train_rmse"] <= shallow["train_rmse"]
+
+
+class TestTable1:
+    def test_scalability_rows_and_surf_flatness(self):
+        rows = table1_scalability.run(
+            scale=TINY, data_sizes=(1_500, 12_000), dims=(1, 2), methods=("SuRF", "Naive", "f+GlowWorm"), random_state=9
+        )
+        assert len(rows) == 2 * 2 * 3
+        surf_rows = [row for row in rows if row["method"] == "SuRF"]
+        fgw_rows = [row for row in rows if row["method"] == "f+GlowWorm"]
+        # SuRF's query time must not grow with N the way f+GlowWorm's does.
+        surf_growth = max(r["seconds"] for r in surf_rows) / max(min(r["seconds"] for r in surf_rows), 1e-9)
+        assert surf_growth < 25
+        # f+GlowWorm touches the data on every evaluation, so its cost grows with N.
+        smallest = min(row["num_points"] for row in rows)
+        largest = max(row["num_points"] for row in rows)
+        for dim in {row["dim"] for row in fgw_rows}:
+            small_time = next(
+                r["seconds"] for r in fgw_rows if r["dim"] == dim and r["num_points"] == smallest
+            )
+            large_time = next(
+                r["seconds"] for r in fgw_rows if r["dim"] == dim and r["num_points"] == largest
+            )
+            assert large_time > small_time
+        assert all(0.0 <= row["fraction_done"] <= 1.0 for row in rows)
+
+    def test_speedup_summary(self):
+        rows = [
+            {"method": "SuRF", "dim": 2, "num_points": 100, "seconds": 1.0, "fraction_done": 1.0},
+            {"method": "Naive", "dim": 2, "num_points": 100, "seconds": 10.0, "fraction_done": 1.0},
+        ]
+        summary = table1_scalability.speedup_summary(rows)
+        assert summary[0]["speedup_of_surf"] == pytest.approx(10.0)

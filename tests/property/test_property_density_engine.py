@@ -1,0 +1,81 @@
+"""Property-based tests for KDE region mass and engine/statistic consistency."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.dataset import Dataset
+from repro.data.engine import DataEngine
+from repro.data.regions import Region
+from repro.data.statistics import AverageStatistic, CountStatistic
+from repro.density.kde import GaussianKDE
+
+settings.register_profile("repro", max_examples=30, deadline=None)
+settings.load_profile("repro")
+
+_POINTS = np.random.default_rng(123).uniform(size=(800, 2))
+_KDE = GaussianKDE().fit(_POINTS)
+_DATASET = Dataset(
+    np.column_stack([_POINTS, np.random.default_rng(5).normal(size=800)]),
+    ["x", "y", "value"],
+)
+_COUNT_ENGINE = DataEngine(_DATASET.select_columns(["x", "y"]), CountStatistic())
+_AVG_ENGINE = DataEngine(_DATASET, AverageStatistic("value"))
+
+center_coord = st.floats(min_value=0.05, max_value=0.95, allow_nan=False)
+half_coord = st.floats(min_value=0.02, max_value=0.4, allow_nan=False)
+
+
+@st.composite
+def region_2d(draw):
+    center = np.array([draw(center_coord), draw(center_coord)])
+    half = np.array([draw(half_coord), draw(half_coord)])
+    return Region(center, half)
+
+
+@given(region_2d())
+def test_kde_mass_between_zero_and_one(region):
+    mass = _KDE.region_mass(region)
+    assert 0.0 <= mass <= 1.0 + 1e-9
+
+
+@given(region_2d(), st.floats(min_value=1.05, max_value=2.0))
+def test_kde_mass_monotone_under_expansion(region, factor):
+    assert _KDE.region_mass(region.expanded(factor)) >= _KDE.region_mass(region) - 1e-12
+
+
+@given(region_2d())
+def test_kde_mass_close_to_empirical_fraction(region):
+    mass = _KDE.region_mass(region)
+    empirical = float(np.mean(
+        np.all((_POINTS >= region.lower) & (_POINTS <= region.upper), axis=1)
+    ))
+    assert mass == pytest.approx(empirical, abs=0.1)
+
+
+@given(region_2d())
+def test_count_engine_matches_bruteforce(region):
+    brute = float(np.sum(np.all((_POINTS >= region.lower) & (_POINTS <= region.upper), axis=1)))
+    assert _COUNT_ENGINE.evaluate(region) == brute
+
+
+@given(region_2d(), st.floats(min_value=1.05, max_value=2.0))
+def test_count_monotone_under_expansion(region, factor):
+    assert _COUNT_ENGINE.evaluate(region.expanded(factor)) >= _COUNT_ENGINE.evaluate(region)
+
+
+@given(region_2d())
+def test_count_additive_over_disjoint_split(region):
+    # Split the region into left/right halves along x: counts must add up.
+    left = Region.from_bounds(region.lower, [region.center[0], region.upper[1]])
+    right = Region.from_bounds([np.nextafter(region.center[0], 2.0), region.lower[1]], region.upper)
+    total = _COUNT_ENGINE.evaluate(region)
+    parts = _COUNT_ENGINE.evaluate(left) + _COUNT_ENGINE.evaluate(right)
+    assert parts == pytest.approx(total, abs=1e-9)
+
+
+@given(region_2d())
+def test_average_engine_bounded_by_target_range(region):
+    value = _AVG_ENGINE.evaluate(region)
+    target = _DATASET.column("value")
+    assert target.min() - 1e-9 <= value <= target.max() + 1e-9 or value == 0.0

@@ -1,0 +1,106 @@
+"""Property-based tests for the ML substrate (trees, boosting, metrics, splits)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml.boosting import GradientBoostingRegressor
+from repro.ml.metrics import mean_absolute_error, mean_squared_error, r2_score, root_mean_squared_error
+from repro.ml.model_selection import KFold, train_test_split
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler
+from repro.ml.tree import DecisionTreeRegressor
+
+settings.register_profile("repro", max_examples=40, deadline=None)
+settings.load_profile("repro")
+
+finite_floats = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def regression_data(draw, min_rows=12, max_rows=60, max_cols=3):
+    num_rows = draw(st.integers(min_rows, max_rows))
+    num_cols = draw(st.integers(1, max_cols))
+    features = draw(
+        hnp.arrays(np.float64, (num_rows, num_cols), elements=finite_floats)
+    )
+    targets = draw(hnp.arrays(np.float64, (num_rows,), elements=finite_floats))
+    return features, targets
+
+
+@given(regression_data())
+def test_tree_predictions_within_target_range(data):
+    features, targets = data
+    tree = DecisionTreeRegressor(max_depth=4).fit(features, targets)
+    predictions = tree.predict(features)
+    assert predictions.min() >= targets.min() - 1e-6
+    assert predictions.max() <= targets.max() + 1e-6
+
+
+@given(regression_data())
+def test_tree_training_rmse_not_worse_than_constant_model(data):
+    features, targets = data
+    tree = DecisionTreeRegressor(max_depth=5).fit(features, targets)
+    tree_rmse = root_mean_squared_error(targets, tree.predict(features))
+    constant_rmse = root_mean_squared_error(targets, np.full_like(targets, targets.mean()))
+    assert tree_rmse <= constant_rmse + 1e-9
+
+
+@given(regression_data(min_rows=25))
+def test_boosting_with_zero_regularisation_reduces_training_error(data):
+    features, targets = data
+    model = GradientBoostingRegressor(
+        n_estimators=20, max_depth=3, learning_rate=0.3, reg_lambda=0.0, random_state=0
+    ).fit(features, targets)
+    rmse = root_mean_squared_error(targets, model.predict(features))
+    constant_rmse = root_mean_squared_error(targets, np.full_like(targets, targets.mean()))
+    assert rmse <= constant_rmse + 1e-9
+
+
+@given(hnp.arrays(np.float64, st.tuples(st.integers(5, 40), st.integers(1, 4)), elements=finite_floats))
+def test_standard_scaler_round_trip(features):
+    scaler = StandardScaler().fit(features)
+    np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(features)), features, atol=1e-6)
+
+
+@given(hnp.arrays(np.float64, st.tuples(st.integers(5, 40), st.integers(1, 4)), elements=finite_floats))
+def test_minmax_scaler_output_in_unit_interval(features):
+    transformed = MinMaxScaler().fit_transform(features)
+    assert transformed.min() >= -1e-12
+    assert transformed.max() <= 1.0 + 1e-12
+
+
+@given(hnp.arrays(np.float64, st.integers(2, 50), elements=finite_floats))
+def test_metrics_non_negative_and_zero_on_exact(targets):
+    assert mean_squared_error(targets, targets) == 0.0
+    assert mean_absolute_error(targets, targets) == 0.0
+    noisy = targets + 1.0
+    assert mean_squared_error(targets, noisy) == pytest.approx(1.0)
+    assert root_mean_squared_error(targets, noisy) == pytest.approx(1.0)
+
+
+@given(hnp.arrays(np.float64, st.integers(3, 50), elements=finite_floats))
+def test_r2_never_exceeds_one(targets):
+    predictions = targets * 0.5 + 1.0
+    assert r2_score(targets, predictions) <= 1.0 + 1e-12
+
+
+@given(regression_data(min_rows=10), st.floats(min_value=0.1, max_value=0.5))
+def test_train_test_split_partitions_rows(data, test_size):
+    features, targets = data
+    f_train, f_test, t_train, t_test = train_test_split(features, targets, test_size=test_size, random_state=0)
+    assert f_train.shape[0] + f_test.shape[0] == features.shape[0]
+    assert t_train.shape[0] == f_train.shape[0]
+    assert t_test.shape[0] == f_test.shape[0]
+
+
+@given(st.integers(6, 60), st.integers(2, 6))
+def test_kfold_covers_every_index_exactly_once(num_samples, n_splits):
+    if n_splits > num_samples:
+        n_splits = num_samples
+    data = np.arange(num_samples).reshape(-1, 1)
+    seen = []
+    for train_idx, test_idx in KFold(n_splits=n_splits).split(data):
+        assert set(train_idx).isdisjoint(test_idx)
+        seen.extend(test_idx.tolist())
+    assert sorted(seen) == list(range(num_samples))

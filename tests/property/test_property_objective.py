@@ -1,0 +1,97 @@
+"""Property-based tests for the region-mining objectives and queries."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.objective import LogObjective, RatioObjective
+from repro.core.query import RegionQuery
+
+settings.register_profile("repro", max_examples=80, deadline=None)
+settings.load_profile("repro")
+
+finite = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False)
+positive_half = st.floats(min_value=1e-3, max_value=0.5, allow_nan=False, allow_infinity=False)
+
+
+def volume_statistic(vector: np.ndarray) -> float:
+    dim = vector.size // 2
+    return float(np.prod(2 * vector[dim:]) * 1000.0)
+
+
+@st.composite
+def solution_vector(draw, dim=2):
+    center = [draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False)) for _ in range(dim)]
+    half = [draw(positive_half) for _ in range(dim)]
+    return np.array(center + half)
+
+
+@given(finite, finite)
+def test_query_margin_antisymmetry(threshold, value):
+    above = RegionQuery(threshold=threshold, direction="above")
+    below = RegionQuery(threshold=threshold, direction="below")
+    assert above.margin(value) == pytest.approx(-below.margin(value))
+
+
+@given(finite)
+def test_exactly_threshold_is_never_satisfied(threshold):
+    above = RegionQuery(threshold=threshold, direction="above")
+    below = RegionQuery(threshold=threshold, direction="below")
+    assert not above.satisfied_by(threshold)
+    assert not below.satisfied_by(threshold)
+
+
+@given(solution_vector(), st.floats(min_value=0.0, max_value=6.0))
+def test_log_objective_finite_iff_feasible(vector, c):
+    query = RegionQuery(threshold=100.0, direction="above", size_penalty=c)
+    objective = LogObjective(volume_statistic, query)
+    value = objective(vector)
+    if objective.is_feasible(vector):
+        assert np.isfinite(value)
+    else:
+        assert value == -np.inf
+
+
+@given(solution_vector())
+def test_log_objective_monotone_in_threshold(vector):
+    # A lower threshold leaves a larger margin, so the objective can only increase.
+    low = LogObjective(volume_statistic, RegionQuery(threshold=10.0, direction="above", size_penalty=2.0))
+    high = LogObjective(volume_statistic, RegionQuery(threshold=200.0, direction="above", size_penalty=2.0))
+    assert low(vector) >= high(vector)
+
+
+@given(solution_vector(), st.floats(min_value=0.5, max_value=4.0))
+def test_log_objective_batch_matches_scalar(vector, c):
+    query = RegionQuery(threshold=50.0, direction="above", size_penalty=c)
+    objective = LogObjective(volume_statistic, query)
+    batch_value = objective.evaluate_batch(vector.reshape(1, -1))[0]
+    scalar_value = objective(vector)
+    if np.isfinite(scalar_value):
+        assert batch_value == pytest.approx(scalar_value)
+    else:
+        assert batch_value == -np.inf
+
+
+@given(solution_vector(), st.floats(min_value=0.5, max_value=4.0))
+def test_ratio_objective_sign_tracks_feasibility(vector, c):
+    query = RegionQuery(threshold=100.0, direction="above", size_penalty=c)
+    objective = RatioObjective(volume_statistic, query)
+    value = objective(vector)
+    assert np.isfinite(value)
+    if objective.is_feasible(vector):
+        assert value > 0
+    else:
+        assert value <= 0
+
+
+@given(solution_vector())
+def test_shrinking_a_feasible_region_increases_log_objective(vector):
+    query = RegionQuery(threshold=10.0, direction="above", size_penalty=4.0)
+    objective = LogObjective(volume_statistic, query)
+    dim = vector.size // 2
+    shrunk = vector.copy()
+    shrunk[dim:] = shrunk[dim:] * 0.9
+    assume(objective.is_feasible(shrunk))
+    assume(objective.is_feasible(vector))
+    # With the statistic proportional to volume, the size penalty dominates for c=4.
+    assert objective(shrunk) >= objective(vector)

@@ -1,0 +1,93 @@
+"""Property-based tests for hyper-rectangle geometry (IoU is the paper's accuracy metric)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.regions import Region
+
+settings.register_profile("repro", max_examples=60, deadline=None)
+settings.load_profile("repro")
+
+
+def region_strategy(dim: int):
+    centers = st.lists(
+        st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False),
+        min_size=dim,
+        max_size=dim,
+    )
+    halves = st.lists(
+        st.floats(min_value=1e-3, max_value=3.0, allow_nan=False, allow_infinity=False),
+        min_size=dim,
+        max_size=dim,
+    )
+    return st.builds(lambda c, h: Region(np.array(c), np.array(h)), centers, halves)
+
+
+@given(region_strategy(2))
+def test_volume_is_positive(region):
+    assert region.volume() > 0
+
+
+@given(region_strategy(2))
+def test_iou_with_itself_is_one(region):
+    assert region.iou(region) == pytest.approx(1.0)
+
+
+@given(region_strategy(2), region_strategy(2))
+def test_iou_is_symmetric_and_bounded(first, second):
+    forward = first.iou(second)
+    backward = second.iou(first)
+    assert forward == pytest.approx(backward, rel=1e-9, abs=1e-12)
+    assert 0.0 <= forward <= 1.0 + 1e-12
+
+
+@given(region_strategy(3), region_strategy(3))
+def test_intersection_volume_bounded_by_each_volume(first, second):
+    overlap = first.intersection_volume(second)
+    assert overlap <= first.volume() + 1e-9
+    assert overlap <= second.volume() + 1e-9
+    assert overlap >= 0.0
+
+
+@given(region_strategy(2), region_strategy(2))
+def test_union_volume_at_least_max_volume(first, second):
+    union = first.union_volume(second)
+    assert union >= max(first.volume(), second.volume()) - 1e-9
+
+
+@given(region_strategy(2), region_strategy(2))
+def test_intersects_consistent_with_intersection_volume(first, second):
+    has_volume = first.intersection_volume(second) > 0
+    if has_volume:
+        assert first.intersects(second)
+
+
+@given(region_strategy(2))
+def test_vector_round_trip_preserves_geometry(region):
+    recovered = Region.from_vector(region.to_vector())
+    np.testing.assert_allclose(recovered.center, region.center)
+    np.testing.assert_allclose(recovered.half_lengths, region.half_lengths)
+
+
+@given(region_strategy(2), st.floats(min_value=0.1, max_value=3.0))
+def test_expanded_region_contains_original(region, factor):
+    if factor >= 1.0:
+        assert region.expanded(factor).contains_region(region)
+    else:
+        assert region.contains_region(region.expanded(factor))
+
+
+@given(region_strategy(2))
+def test_contained_region_has_iou_equal_to_volume_ratio(region):
+    inner = region.expanded(0.5)
+    expected = inner.volume() / region.volume()
+    assert region.iou(inner) == pytest.approx(expected, rel=1e-9)
+
+
+@given(region_strategy(1), st.floats(min_value=-3, max_value=3))
+def test_translation_preserves_volume_and_iou_shift(region, offset):
+    moved = region.translated(np.array([offset]))
+    assert moved.volume() == pytest.approx(region.volume())
+    if abs(offset) >= region.side_lengths[0]:
+        assert region.iou(moved) == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,216 @@
+"""Unit tests for RegionQuery, SolutionSpace and the objective functions."""
+
+import numpy as np
+import pytest
+
+from repro.core.objective import LogObjective, RatioObjective, make_objective
+from repro.core.query import RegionQuery, SolutionSpace
+from repro.data.regions import Region
+from repro.exceptions import ValidationError
+
+
+def linear_statistic(vector: np.ndarray) -> float:
+    """A simple synthetic statistic: count proportional to region volume ×1000."""
+    dim = vector.size // 2
+    half = vector[dim:]
+    return float(np.prod(2 * half) * 1000.0)
+
+
+def batch_linear_statistic(vectors: np.ndarray) -> np.ndarray:
+    dim = vectors.shape[1] // 2
+    return np.prod(2 * vectors[:, dim:], axis=1) * 1000.0
+
+
+class TestRegionQuery:
+    def test_margin_above(self):
+        query = RegionQuery(threshold=10.0, direction="above")
+        assert query.margin(15.0) == pytest.approx(5.0)
+        assert query.margin(5.0) == pytest.approx(-5.0)
+
+    def test_margin_below(self):
+        query = RegionQuery(threshold=10.0, direction="below")
+        assert query.margin(5.0) == pytest.approx(5.0)
+        assert query.margin(15.0) == pytest.approx(-5.0)
+
+    def test_satisfied_by_is_strict(self):
+        query = RegionQuery(threshold=10.0, direction="above")
+        assert query.satisfied_by(10.5)
+        assert not query.satisfied_by(10.0)
+        assert not query.satisfied_by(9.0)
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(ValidationError):
+            RegionQuery(threshold=1.0, direction="between")
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValidationError):
+            RegionQuery(threshold=np.inf)
+
+    def test_negative_size_penalty_rejected(self):
+        with pytest.raises(ValidationError):
+            RegionQuery(threshold=1.0, size_penalty=-1.0)
+
+    def test_str_mentions_direction(self):
+        assert ">" in str(RegionQuery(threshold=1.0, direction="above"))
+        assert "<" in str(RegionQuery(threshold=1.0, direction="below"))
+
+
+class TestSolutionSpace:
+    def test_bounds_vectors_shapes(self):
+        space = SolutionSpace(Region.from_bounds([0.0, 0.0], [1.0, 2.0]))
+        lower, upper = space.bounds_vectors()
+        assert lower.shape == (4,)
+        assert upper.shape == (4,)
+        assert space.solution_dim == 4
+        assert space.region_dim == 2
+
+    def test_half_length_bounds_scale_with_extent(self):
+        space = SolutionSpace(
+            Region.from_bounds([0.0, 0.0], [1.0, 2.0]), min_half_fraction=0.01, max_half_fraction=0.5
+        )
+        lower, upper = space.bounds_vectors()
+        np.testing.assert_allclose(lower[2:], [0.01, 0.02])
+        np.testing.assert_allclose(upper[2:], [0.5, 1.0])
+
+    def test_clip_vector(self):
+        space = SolutionSpace(Region.from_bounds([0.0], [1.0]))
+        clipped = space.clip_vector(np.array([2.0, 0.9]))
+        assert clipped[0] == pytest.approx(1.0)
+        assert clipped[1] <= 0.5
+
+    def test_contains_vector(self):
+        space = SolutionSpace(Region.from_bounds([0.0], [1.0]))
+        assert space.contains_vector(np.array([0.5, 0.1]))
+        assert not space.contains_vector(np.array([1.5, 0.1]))
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ValidationError):
+            SolutionSpace(Region.from_bounds([0.0], [1.0]), min_half_fraction=0.4, max_half_fraction=0.2)
+
+    def test_from_workload_features_covers_evaluated_regions(self):
+        features = np.array(
+            [
+                [0.2, 0.2, 0.1, 0.1],
+                [0.8, 0.9, 0.05, 0.05],
+            ]
+        )
+        space = SolutionSpace.from_workload_features(features)
+        assert space.region_dim == 2
+        assert np.all(space.data_bounds.lower <= [0.1, 0.1])
+        assert np.all(space.data_bounds.upper >= [0.85, 0.95])
+
+    def test_from_workload_features_rejects_bad_shape(self):
+        with pytest.raises(ValidationError):
+            SolutionSpace.from_workload_features(np.ones((3, 3)))
+
+
+class TestLogObjective:
+    def test_feasible_region_value(self):
+        query = RegionQuery(threshold=100.0, direction="above", size_penalty=2.0)
+        objective = LogObjective(linear_statistic, query)
+        vector = np.array([0.5, 0.5, 0.3, 0.3])  # volume 0.36 -> statistic 360
+        expected = np.log(360.0 - 100.0) - 2.0 * (np.log(0.3) + np.log(0.3))
+        assert objective(vector) == pytest.approx(expected)
+
+    def test_infeasible_region_is_minus_inf(self):
+        query = RegionQuery(threshold=100.0, direction="above")
+        objective = LogObjective(linear_statistic, query)
+        tiny = np.array([0.5, 0.5, 0.01, 0.01])
+        assert objective(tiny) == -np.inf
+
+    def test_below_direction(self):
+        query = RegionQuery(threshold=100.0, direction="below", size_penalty=1.0)
+        objective = LogObjective(linear_statistic, query)
+        tiny = np.array([0.5, 0.5, 0.01, 0.01])  # statistic 0.4 < 100 -> feasible
+        assert np.isfinite(objective(tiny))
+        big = np.array([0.5, 0.5, 0.4, 0.4])  # statistic 640 > 100 -> infeasible
+        assert objective(big) == -np.inf
+
+    def test_smaller_regions_score_higher_when_feasible(self):
+        query = RegionQuery(threshold=10.0, direction="above", size_penalty=4.0)
+        objective = LogObjective(linear_statistic, query)
+        small = objective(np.array([0.5, 0.5, 0.2, 0.2]))
+        large = objective(np.array([0.5, 0.5, 0.4, 0.4]))
+        assert small > large
+
+    def test_batch_matches_scalar(self):
+        query = RegionQuery(threshold=100.0, direction="above", size_penalty=3.0)
+        objective = LogObjective(linear_statistic, query, batch_linear_statistic)
+        vectors = np.array(
+            [
+                [0.5, 0.5, 0.3, 0.3],
+                [0.5, 0.5, 0.01, 0.01],
+                [0.2, 0.8, 0.45, 0.25],
+            ]
+        )
+        batch = objective.evaluate_batch(vectors)
+        singles = np.array([objective(vector) for vector in vectors])
+        np.testing.assert_allclose(batch, singles)
+
+    def test_batch_without_batch_fn_falls_back_to_loop(self):
+        query = RegionQuery(threshold=100.0, direction="above")
+        objective = LogObjective(linear_statistic, query)
+        vectors = np.array([[0.5, 0.5, 0.3, 0.3], [0.5, 0.5, 0.2, 0.2]])
+        np.testing.assert_allclose(
+            objective.evaluate_batch(vectors), [objective(v) for v in vectors]
+        )
+
+    def test_is_feasible_helper(self):
+        query = RegionQuery(threshold=100.0, direction="above")
+        objective = LogObjective(linear_statistic, query)
+        assert objective.is_feasible(np.array([0.5, 0.5, 0.3, 0.3]))
+        assert not objective.is_feasible(np.array([0.5, 0.5, 0.01, 0.01]))
+
+    def test_evaluate_region_matches_vector(self):
+        query = RegionQuery(threshold=100.0, direction="above")
+        objective = LogObjective(linear_statistic, query)
+        region = Region([0.5, 0.5], [0.3, 0.3])
+        assert objective.evaluate_region(region) == pytest.approx(objective(region.to_vector()))
+
+    def test_invalid_vector_shapes_rejected(self):
+        query = RegionQuery(threshold=1.0)
+        objective = LogObjective(linear_statistic, query)
+        with pytest.raises(ValidationError):
+            objective(np.array([0.1, 0.2, 0.3]))
+        with pytest.raises(ValidationError):
+            objective.evaluate_batch(np.ones((2, 3)))
+
+
+class TestRatioObjective:
+    def test_matches_equation_two(self):
+        query = RegionQuery(threshold=100.0, direction="above", size_penalty=2.0)
+        objective = RatioObjective(linear_statistic, query)
+        vector = np.array([0.5, 0.5, 0.3, 0.3])
+        expected = (360.0 - 100.0) / (0.3 * 0.3) ** 2.0
+        assert objective(vector) == pytest.approx(expected)
+
+    def test_defined_but_negative_for_infeasible_regions(self):
+        query = RegionQuery(threshold=100.0, direction="above", size_penalty=1.0)
+        objective = RatioObjective(linear_statistic, query)
+        tiny = np.array([0.5, 0.5, 0.01, 0.01])
+        value = objective(tiny)
+        assert np.isfinite(value)
+        assert value < 0
+
+    def test_batch_matches_scalar(self):
+        query = RegionQuery(threshold=50.0, direction="above", size_penalty=2.0)
+        objective = RatioObjective(linear_statistic, query, batch_linear_statistic)
+        vectors = np.array([[0.5, 0.5, 0.3, 0.3], [0.5, 0.5, 0.05, 0.05]])
+        np.testing.assert_allclose(
+            objective.evaluate_batch(vectors), [objective(v) for v in vectors]
+        )
+
+
+class TestFactory:
+    def test_make_objective_log_and_ratio(self):
+        query = RegionQuery(threshold=1.0)
+        assert isinstance(make_objective("log", linear_statistic, query), LogObjective)
+        assert isinstance(make_objective("ratio", linear_statistic, query), RatioObjective)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            make_objective("cubic", linear_statistic, RegionQuery(threshold=1.0))
+
+    def test_non_callable_statistic_rejected(self):
+        with pytest.raises(ValidationError):
+            LogObjective("not-callable", RegionQuery(threshold=1.0))

@@ -1,0 +1,116 @@
+"""Unit tests for the columnar Dataset."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.regions import Region
+from repro.exceptions import ValidationError
+
+
+class TestConstruction:
+    def test_default_column_names_follow_paper_convention(self):
+        dataset = Dataset(np.zeros((3, 2)) + 0.5)
+        assert dataset.column_names == ["a1", "a2"]
+
+    def test_explicit_column_names(self, simple_dataset):
+        assert simple_dataset.column_names == ["x", "y", "value"]
+
+    def test_shape_accessors(self, simple_dataset):
+        assert simple_dataset.num_rows == 5
+        assert simple_dataset.num_columns == 3
+        assert len(simple_dataset) == 5
+
+    def test_values_are_read_only(self, simple_dataset):
+        with pytest.raises(ValueError):
+            simple_dataset.values[0, 0] = 99.0
+
+    def test_wrong_number_of_names_rejected(self):
+        with pytest.raises(ValidationError):
+            Dataset(np.zeros((2, 2)) + 1.0, ["only_one"])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError):
+            Dataset(np.ones((2, 2)), ["a", "a"])
+
+    def test_non_2d_values_rejected(self):
+        with pytest.raises(ValidationError):
+            Dataset(np.ones(5))
+
+    def test_from_dict_round_trip(self):
+        dataset = Dataset.from_dict({"a": [1.0, 2.0], "b": [3.0, 4.0]})
+        assert dataset.column_names == ["a", "b"]
+        np.testing.assert_allclose(dataset.column("b"), [3.0, 4.0])
+
+    def test_from_dict_unequal_lengths_rejected(self):
+        with pytest.raises(ValidationError):
+            Dataset.from_dict({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_from_dict_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            Dataset.from_dict({})
+
+    def test_to_dict_returns_copies(self, simple_dataset):
+        exported = simple_dataset.to_dict()
+        exported["x"][0] = 123.0
+        assert simple_dataset.column("x")[0] != 123.0
+
+
+class TestColumnAccess:
+    def test_column_by_name(self, simple_dataset):
+        np.testing.assert_allclose(simple_dataset.column("value"), [1, 2, 3, 4, 5])
+
+    def test_column_by_index(self, simple_dataset):
+        np.testing.assert_allclose(simple_dataset.column(2), [1, 2, 3, 4, 5])
+
+    def test_unknown_column_raises(self, simple_dataset):
+        with pytest.raises(ValidationError):
+            simple_dataset.column("missing")
+
+    def test_out_of_range_index_raises(self, simple_dataset):
+        with pytest.raises(ValidationError):
+            simple_dataset.column(10)
+
+    def test_select_columns_projects_and_reorders(self, simple_dataset):
+        projected = simple_dataset.select_columns(["value", "x"])
+        assert projected.column_names == ["value", "x"]
+        np.testing.assert_allclose(projected.values[:, 0], simple_dataset.column("value"))
+
+
+class TestSamplingAndFiltering:
+    def test_sample_without_replacement_size(self, simple_dataset):
+        sample = simple_dataset.sample(3, random_state=0)
+        assert sample.num_rows == 3
+
+    def test_sample_too_large_without_replacement_rejected(self, simple_dataset):
+        with pytest.raises(ValidationError):
+            simple_dataset.sample(10, random_state=0)
+
+    def test_sample_with_replacement_allows_oversampling(self, simple_dataset):
+        sample = simple_dataset.sample(10, random_state=0, replace=True)
+        assert sample.num_rows == 10
+
+    def test_sample_is_reproducible(self, simple_dataset):
+        first = simple_dataset.sample(3, random_state=5)
+        second = simple_dataset.sample(3, random_state=5)
+        np.testing.assert_allclose(first.values, second.values)
+
+    def test_region_mask_counts_expected_rows(self, simple_dataset):
+        region = Region.from_bounds([0.0, 0.0], [0.3, 0.3])
+        mask = simple_dataset.region_mask(region, columns=["x", "y"])
+        assert mask.sum() == 2
+
+    def test_filter_region_returns_subset(self, simple_dataset):
+        region = Region.from_bounds([0.0, 0.0], [0.3, 0.3])
+        subset = simple_dataset.filter_region(region, columns=["x", "y"])
+        assert subset.num_rows == 2
+        assert subset.column_names == simple_dataset.column_names
+
+    def test_region_mask_dimension_mismatch(self, simple_dataset):
+        region = Region.from_bounds([0.0], [0.3])
+        with pytest.raises(ValidationError):
+            simple_dataset.region_mask(region)
+
+    def test_bounding_box_covers_all_rows(self, simple_dataset):
+        box = simple_dataset.bounding_box(columns=["x", "y"])
+        assert box.contains_points(simple_dataset.select_columns(["x", "y"]).values).all()

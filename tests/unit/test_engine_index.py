@@ -1,0 +1,133 @@
+"""Unit tests for the back-end DataEngine and the grid spatial index."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.engine import DataEngine
+from repro.data.index import GridIndex
+from repro.data.regions import Region
+from repro.data.statistics import AverageStatistic, CountStatistic
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def grid_points(rng):
+    return np.random.default_rng(3).uniform(size=(2_000, 2))
+
+
+class TestGridIndex:
+    def test_counts_match_bruteforce(self, grid_points):
+        index = GridIndex(grid_points, cells_per_dim=8)
+        region = Region.from_bounds([0.2, 0.3], [0.6, 0.7])
+        brute = np.sum(np.all((grid_points >= region.lower) & (grid_points <= region.upper), axis=1))
+        assert index.count(region) == brute
+
+    def test_query_indices_are_exact(self, grid_points):
+        index = GridIndex(grid_points, cells_per_dim=5)
+        region = Region.from_bounds([0.1, 0.1], [0.4, 0.9])
+        indices = index.query_indices(region)
+        inside = np.all(
+            (grid_points[indices] >= region.lower) & (grid_points[indices] <= region.upper), axis=1
+        )
+        assert inside.all()
+
+    def test_candidates_superset_of_answers(self, grid_points):
+        index = GridIndex(grid_points, cells_per_dim=6)
+        region = Region.from_bounds([0.5, 0.5], [0.8, 0.8])
+        candidates = set(index.candidate_indices(region).tolist())
+        answers = set(index.query_indices(region).tolist())
+        assert answers.issubset(candidates)
+
+    def test_empty_region_returns_empty(self, grid_points):
+        index = GridIndex(grid_points, cells_per_dim=8)
+        region = Region.from_bounds([2.0, 2.0], [2.1, 2.1])
+        assert index.count(region) == 0
+
+    def test_dimension_mismatch_rejected(self, grid_points):
+        index = GridIndex(grid_points)
+        with pytest.raises(ValidationError):
+            index.count(Region.from_bounds([0.0], [0.5]))
+
+    def test_invalid_cells_per_dim(self, grid_points):
+        with pytest.raises(ValidationError):
+            GridIndex(grid_points, cells_per_dim=0)
+
+    def test_properties(self, grid_points):
+        index = GridIndex(grid_points, cells_per_dim=4)
+        assert index.num_points == grid_points.shape[0]
+        assert index.dim == 2
+
+
+class TestDataEngineCount:
+    def test_evaluate_counts_points(self, simple_dataset):
+        engine = DataEngine(simple_dataset, CountStatistic())
+        region = Region.from_bounds([0.0, 0.0, 0.0], [0.3, 0.3, 3.0])
+        assert engine.evaluate(region) == 2.0
+
+    def test_indexed_engine_matches_unindexed(self, small_density_synthetic):
+        dataset = small_density_synthetic.dataset
+        plain = DataEngine(dataset, CountStatistic(), use_index=False)
+        indexed = DataEngine(dataset, CountStatistic(), use_index=True, cells_per_dim=8)
+        region = small_density_synthetic.ground_truth[0].region
+        assert plain.evaluate(region) == indexed.evaluate(region)
+
+    def test_evaluate_vector_matches_evaluate(self, density_engine, small_density_synthetic):
+        region = small_density_synthetic.ground_truth[0].region
+        assert density_engine.evaluate_vector(region.to_vector()) == density_engine.evaluate(region)
+
+    def test_evaluation_counter_increments_and_resets(self, simple_dataset):
+        engine = DataEngine(simple_dataset, CountStatistic())
+        region = Region.from_bounds([0.0, 0.0, 0.0], [1.0, 1.0, 10.0])
+        engine.evaluate(region)
+        engine.evaluate(region)
+        assert engine.num_evaluations == 2
+        engine.reset_evaluation_counter()
+        assert engine.num_evaluations == 0
+
+    def test_evaluate_many_returns_array(self, simple_dataset):
+        engine = DataEngine(simple_dataset, CountStatistic())
+        regions = [
+            Region.from_bounds([0.0, 0.0, 0.0], [1.0, 1.0, 10.0]),
+            Region.from_bounds([0.0, 0.0, 0.0], [0.3, 0.3, 3.0]),
+        ]
+        np.testing.assert_allclose(engine.evaluate_many(regions), [5.0, 2.0])
+
+    def test_region_dim_and_columns(self, simple_dataset):
+        engine = DataEngine(simple_dataset, CountStatistic())
+        assert engine.region_dim == 3
+        assert engine.region_columns == ["x", "y", "value"]
+
+    def test_dimension_mismatch_raises(self, simple_dataset):
+        engine = DataEngine(simple_dataset, CountStatistic())
+        with pytest.raises(ValidationError):
+            engine.evaluate(Region.from_bounds([0.0], [0.5]))
+
+    def test_support_ignores_statistic(self, simple_dataset):
+        engine = DataEngine(simple_dataset, AverageStatistic("value"))
+        region = Region.from_bounds([0.0, 0.0], [0.3, 0.3])
+        assert engine.support(region) == 2
+
+
+class TestDataEngineAggregate:
+    def test_average_excludes_target_dimension(self, simple_dataset):
+        engine = DataEngine(simple_dataset, AverageStatistic("value"))
+        assert engine.region_dim == 2
+        region = Region.from_bounds([0.0, 0.0], [0.3, 0.3])
+        assert engine.evaluate(region) == pytest.approx(1.5)
+
+    def test_region_bounds_cover_data(self, density_engine, small_density_synthetic):
+        bounds = density_engine.region_bounds()
+        points = small_density_synthetic.dataset.values
+        assert bounds.contains_points(points).all()
+
+    def test_statistic_sample_and_cdf(self, density_engine):
+        sample = density_engine.statistic_sample(50, random_state=1)
+        assert sample.shape == (50,)
+        cdf = density_engine.empirical_cdf(sample)
+        assert cdf(float(sample.max()) + 1) == pytest.approx(1.0)
+        assert cdf(float(sample.min()) - 1) == pytest.approx(0.0)
+
+    def test_ground_truth_statistic_matches_engine(self, small_density_synthetic, density_engine):
+        truth = small_density_synthetic.ground_truth[0]
+        assert density_engine.evaluate(truth.region) == pytest.approx(truth.statistic_value)

@@ -1,0 +1,110 @@
+"""Unit tests for experiment configuration, common helpers and public exports."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.exceptions import ValidationError
+from repro.experiments import common
+from repro.experiments.config import MEDIUM, PAPER, SMALL, ExperimentScale, get_scale
+from repro.experiments.reporting import format_table, summarize_rows
+
+
+class TestScales:
+    def test_predefined_scales_are_ordered(self):
+        assert SMALL.num_points < MEDIUM.num_points < PAPER.num_points
+        assert SMALL.workload_size < MEDIUM.workload_size < PAPER.workload_size
+
+    def test_get_scale_resolves_names(self):
+        assert get_scale("medium") is MEDIUM
+        assert get_scale("PAPER") is PAPER
+
+    def test_get_scale_unknown_name(self):
+        with pytest.raises(ValidationError):
+            get_scale("galactic")
+
+    def test_custom_scale_validation(self):
+        with pytest.raises(ValidationError):
+            ExperimentScale(
+                name="bad",
+                num_points=10,
+                workload_size=600,
+                num_particles=10,
+                num_iterations=10,
+                naive_max_candidates=10,
+                time_budget_seconds=1.0,
+            )
+
+
+class TestCommonHelpers:
+    def test_workload_size_grows_with_dim_and_is_capped(self):
+        assert common.workload_size_for_dim(SMALL, 1) == SMALL.workload_size
+        assert common.workload_size_for_dim(SMALL, 3) > common.workload_size_for_dim(SMALL, 1)
+        assert common.workload_size_for_dim(SMALL, 50) <= 300_000
+
+    def test_gso_parameters_from_scale(self):
+        params = common.gso_parameters(SMALL, random_state=1)
+        assert params.num_particles == SMALL.num_particles
+        assert params.num_iterations == SMALL.num_iterations
+
+    def test_gso_parameters_accept_overrides(self):
+        params = common.gso_parameters(SMALL, num_iterations=7)
+        assert params.num_iterations == 7
+
+    def test_make_dataset_and_default_query(self):
+        scale = ExperimentScale(
+            name="tiny", num_points=1_200, workload_size=100, num_particles=10,
+            num_iterations=5, naive_max_candidates=50, time_budget_seconds=1.0,
+        )
+        synthetic = common.make_dataset("density", dim=1, num_regions=1, scale=scale, random_state=0)
+        assert synthetic.dataset.num_rows >= scale.num_points
+        query = common.default_query(synthetic)
+        assert query.direction == "above"
+        assert query.threshold < synthetic.ground_truth[0].statistic_value
+
+
+class TestReportingEdgeCases:
+    def test_format_table_with_explicit_columns(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert header.strip().startswith("c")
+        assert "b" not in header
+
+    def test_format_table_handles_nan_and_large_values(self):
+        text = format_table([{"x": float("nan"), "y": 123456.789, "z": 0.0001}])
+        assert "nan" in text
+
+    def test_summarize_rows_missing_value_column(self):
+        with pytest.raises(ValidationError):
+            summarize_rows([{"method": "SuRF"}], group_by=("method",), value="iou")
+
+    def test_summarize_rows_empty_input(self):
+        assert summarize_rows([], group_by=("method",), value="iou") == []
+
+
+class TestPublicApi:
+    def test_top_level_exports_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_data_package_exports(self):
+        import repro.data as data
+
+        for name in data.__all__:
+            assert hasattr(data, name), name
+
+    def test_ml_package_exports(self):
+        import repro.ml as ml
+
+        for name in ml.__all__:
+            assert hasattr(ml, name), name
+
+    def test_surrogate_package_exports(self):
+        import repro.surrogate as surrogate
+
+        for name in surrogate.__all__:
+            assert hasattr(surrogate, name), name

@@ -1,0 +1,157 @@
+"""Unit tests for the SuRF finder itself."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import average_iou, compliance_rate
+from repro.core.finder import SuRF
+from repro.core.query import RegionQuery
+from repro.exceptions import NotFittedError, ValidationError
+from repro.optim.gso import GSOParameters
+from repro.surrogate.training import SurrogateTrainer
+from repro.ml.boosting import GradientBoostingRegressor
+
+
+class TestFitting:
+    def test_unfitted_finder_raises(self, density_query):
+        finder = SuRF()
+        with pytest.raises(NotFittedError):
+            finder.find_regions(density_query)
+        with pytest.raises(NotFittedError):
+            finder.predict_statistic(None)
+
+    def test_fit_sets_state(self, fitted_surf, density_workload):
+        assert fitted_surf.surrogate_ is not None
+        assert fitted_surf.solution_space_ is not None
+        assert fitted_surf.workload_size_ == len(density_workload)
+        assert fitted_surf.density_ is not None
+
+    def test_fit_without_data_sample_disables_density_guidance(self, density_workload, fast_trainer):
+        finder = SuRF(trainer=fast_trainer, random_state=0)
+        finder.fit(density_workload)
+        assert finder.density_ is None
+
+    def test_fit_rejects_mismatched_data_sample(self, density_workload, fast_trainer):
+        finder = SuRF(trainer=fast_trainer, random_state=0)
+        with pytest.raises(ValidationError):
+            finder.fit(density_workload, data_sample=np.ones((10, 5)))
+
+    def test_invalid_warm_start_fraction_rejected(self):
+        with pytest.raises(ValidationError):
+            SuRF(warm_start_fraction=1.5)
+
+    def test_from_engine_builds_working_finder(self, density_engine, density_query, small_density_synthetic):
+        finder = SuRF.from_engine(
+            density_engine,
+            num_evaluations=300,
+            gso_parameters=GSOParameters(num_particles=30, num_iterations=20, random_state=0),
+            random_state=0,
+        )
+        result = finder.find_regions(density_query)
+        assert result.optimization.num_iterations > 0
+
+
+class TestFinding:
+    def test_find_regions_returns_feasible_compliant_proposals(
+        self, fitted_surf, density_query, density_engine
+    ):
+        result = fitted_surf.find_regions(density_query)
+        assert result.num_regions >= 1
+        assert result.optimization.feasible_fraction > 0
+        assert compliance_rate(result.proposals, density_engine, density_query) >= 0.5
+
+    def test_proposals_overlap_ground_truth(self, fitted_surf, density_query, small_density_synthetic):
+        result = fitted_surf.find_regions(density_query)
+        regions = result.all_feasible_regions() or result.regions
+        assert average_iou(regions, small_density_synthetic.ground_truth_regions) > 0.15
+
+    def test_proposals_within_solution_space(self, fitted_surf, density_query):
+        result = fitted_surf.find_regions(density_query)
+        space = result.solution_space
+        for proposal in result.proposals:
+            assert space.contains_vector(proposal.vector)
+
+    def test_max_proposals_respected(self, fitted_surf, density_query):
+        result = fitted_surf.find_regions(density_query, max_proposals=1)
+        assert result.num_regions <= 1
+
+    def test_explicit_gso_parameters_override_defaults(self, fitted_surf, density_query):
+        params = GSOParameters(
+            num_particles=20, num_iterations=8, min_iterations=8, convergence_patience=100, random_state=0
+        )
+        result = fitted_surf.find_regions(density_query, gso_parameters=params)
+        assert result.optimization.num_iterations == 8
+        assert result.optimization.positions.shape[0] == 20
+
+    def test_result_best_and_regions_accessors(self, fitted_surf, density_query):
+        result = fitted_surf.find_regions(density_query)
+        if result.proposals:
+            assert result.best() is result.proposals[0]
+            assert len(result.regions) == result.num_regions
+
+    def test_below_direction_query(self, fitted_surf, density_engine):
+        query = RegionQuery(threshold=50.0, direction="below", size_penalty=0.5)
+        result = fitted_surf.find_regions(query)
+        # Only small, off-cluster regions hold fewer than 50 points, but the swarm
+        # should still locate some of them.
+        assert result.optimization.feasible_fraction > 0.02
+        assert result.best() is not None
+
+    def test_predict_statistic_tracks_truth(self, fitted_surf, density_engine, small_density_synthetic):
+        truth = small_density_synthetic.ground_truth[0].region
+        predicted = fitted_surf.predict_statistic(truth)
+        actual = density_engine.evaluate(truth)
+        assert predicted > 0.3 * actual
+
+    def test_elapsed_time_recorded(self, fitted_surf, density_query):
+        result = fitted_surf.find_regions(density_query)
+        assert result.elapsed_seconds > 0
+
+
+class TestConfigurationVariants:
+    def test_ratio_objective_variant_runs(self, density_workload, density_query, fast_trainer):
+        finder = SuRF(
+            trainer=fast_trainer,
+            objective="ratio",
+            use_density_guidance=False,
+            gso_parameters=GSOParameters(num_particles=30, num_iterations=15, random_state=0),
+            random_state=0,
+        )
+        finder.fit(density_workload)
+        result = finder.find_regions(density_query)
+        assert result.optimization.num_iterations > 0
+
+    def test_histogram_density_guidance(self, density_workload, density_engine, density_query):
+        sample = (
+            density_engine.dataset.sample(400, random_state=0)
+            .select_columns(density_engine.region_columns)
+            .values
+        )
+        finder = SuRF(
+            trainer=SurrogateTrainer(
+                estimator=GradientBoostingRegressor(n_estimators=30, random_state=0), random_state=0
+            ),
+            density_method="histogram",
+            gso_parameters=GSOParameters(num_particles=30, num_iterations=15, random_state=0),
+            random_state=0,
+        )
+        finder.fit(density_workload, data_sample=sample)
+        result = finder.find_regions(density_query)
+        assert result.optimization.num_iterations > 0
+
+    def test_warm_start_disabled_still_runs(self, density_workload, density_query, fast_trainer):
+        finder = SuRF(
+            trainer=fast_trainer,
+            warm_start_fraction=0.0,
+            use_density_guidance=False,
+            gso_parameters=GSOParameters(num_particles=30, num_iterations=20, random_state=0),
+            random_state=0,
+        )
+        finder.fit(density_workload)
+        result = finder.find_regions(density_query)
+        assert result.optimization.num_iterations > 0
+
+    def test_no_data_access_at_query_time(self, fitted_surf, density_query, density_engine):
+        before = density_engine.num_evaluations
+        fitted_surf.find_regions(density_query)
+        assert density_engine.num_evaluations == before

@@ -1,0 +1,108 @@
+"""Unit tests for regression metrics and feature scalers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ml.metrics import (
+    mean_absolute_error,
+    mean_squared_error,
+    pearson_correlation,
+    r2_score,
+    root_mean_squared_error,
+)
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler
+
+
+class TestMetrics:
+    def test_mse_of_exact_predictions_is_zero(self):
+        targets = np.array([1.0, 2.0, 3.0])
+        assert mean_squared_error(targets, targets) == 0.0
+
+    def test_mse_known_value(self):
+        assert mean_squared_error([0.0, 0.0], [1.0, 3.0]) == pytest.approx(5.0)
+
+    def test_rmse_is_sqrt_of_mse(self):
+        y_true = np.array([0.0, 0.0, 0.0, 0.0])
+        y_pred = np.array([2.0, 2.0, 2.0, 2.0])
+        assert root_mean_squared_error(y_true, y_pred) == pytest.approx(2.0)
+
+    def test_mae_known_value(self):
+        assert mean_absolute_error([1.0, -1.0], [0.0, 0.0]) == pytest.approx(1.0)
+
+    def test_r2_perfect_fit_is_one(self):
+        targets = np.array([1.0, 2.0, 3.0, 4.0])
+        assert r2_score(targets, targets) == pytest.approx(1.0)
+
+    def test_r2_mean_prediction_is_zero(self):
+        targets = np.array([1.0, 2.0, 3.0, 4.0])
+        predictions = np.full(4, targets.mean())
+        assert r2_score(targets, predictions) == pytest.approx(0.0)
+
+    def test_r2_constant_targets(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 0.0
+        assert r2_score([2.0, 2.0], [1.0, 3.0]) == -np.inf
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            mean_squared_error([1.0, 2.0], [1.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            root_mean_squared_error([np.nan], [1.0])
+
+    def test_pearson_correlation_perfect(self):
+        x = np.arange(10, dtype=float)
+        assert pearson_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_pearson_correlation_constant_input_is_zero(self):
+        assert pearson_correlation([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_pearson_requires_two_samples(self):
+        with pytest.raises(ValidationError):
+            pearson_correlation([1.0], [1.0])
+
+
+class TestStandardScaler:
+    def test_transform_zero_mean_unit_variance(self, rng):
+        data = rng.normal(5.0, 3.0, size=(200, 3))
+        transformed = StandardScaler().fit_transform(data)
+        np.testing.assert_allclose(transformed.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(transformed.std(axis=0), 1.0, atol=1e-9)
+
+    def test_inverse_transform_round_trip(self, rng):
+        data = rng.uniform(size=(50, 2))
+        scaler = StandardScaler().fit(data)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(data)), data, atol=1e-12)
+
+    def test_constant_feature_not_divided_by_zero(self):
+        data = np.column_stack([np.ones(10), np.arange(10, dtype=float)])
+        transformed = StandardScaler().fit_transform(data)
+        assert np.all(np.isfinite(transformed))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+
+class TestMinMaxScaler:
+    def test_transform_range(self, rng):
+        data = rng.uniform(-5, 7, size=(100, 2))
+        transformed = MinMaxScaler().fit_transform(data)
+        assert transformed.min() >= 0.0
+        assert transformed.max() <= 1.0 + 1e-12
+
+    def test_inverse_round_trip(self, rng):
+        data = rng.uniform(-5, 7, size=(40, 3))
+        scaler = MinMaxScaler().fit(data)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(data)), data, atol=1e-12)
+
+    def test_constant_feature_maps_to_zero(self):
+        data = np.column_stack([np.full(5, 3.0), np.arange(5, dtype=float)])
+        transformed = MinMaxScaler().fit_transform(data)
+        np.testing.assert_allclose(transformed[:, 0], 0.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform(np.ones((2, 2)))

@@ -1,0 +1,182 @@
+"""Unit tests for train/test splitting, K-fold CV and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ml.boosting import GradientBoostingRegressor
+from repro.ml.linear import RidgeRegression
+from repro.ml.metrics import root_mean_squared_error
+from repro.ml.model_selection import GridSearchCV, KFold, cross_val_score, train_test_split
+from repro.ml.tree import DecisionTreeRegressor
+
+
+@pytest.fixture(scope="module")
+def linear_problem():
+    rng = np.random.default_rng(4)
+    features = rng.uniform(-1, 1, size=(300, 2))
+    targets = features[:, 0] * 2 - features[:, 1] + rng.normal(0, 0.1, 300)
+    return features, targets
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, linear_problem):
+        features, targets = linear_problem
+        f_train, f_test, t_train, t_test = train_test_split(features, targets, test_size=0.2, random_state=0)
+        assert f_test.shape[0] == 60
+        assert f_train.shape[0] == 240
+        assert t_train.shape[0] == 240
+        assert t_test.shape[0] == 60
+
+    def test_disjoint_and_complete(self, linear_problem):
+        features, targets = linear_problem
+        f_train, f_test, _, _ = train_test_split(features, targets, test_size=0.25, random_state=1)
+        combined = np.vstack([f_train, f_test])
+        assert combined.shape[0] == features.shape[0]
+        assert {tuple(row) for row in combined} == {tuple(row) for row in features}
+
+    def test_reproducible(self, linear_problem):
+        features, targets = linear_problem
+        first = train_test_split(features, targets, random_state=7)
+        second = train_test_split(features, targets, random_state=7)
+        np.testing.assert_allclose(first[0], second[0])
+
+    def test_no_shuffle_keeps_order(self, linear_problem):
+        features, targets = linear_problem
+        _, f_test, _, _ = train_test_split(features, targets, test_size=0.1, shuffle=False)
+        np.testing.assert_allclose(f_test, features[:30])
+
+    def test_invalid_test_size(self, linear_problem):
+        features, targets = linear_problem
+        with pytest.raises(ValidationError):
+            train_test_split(features, targets, test_size=1.5)
+
+    def test_mismatched_lengths(self, linear_problem):
+        features, targets = linear_problem
+        with pytest.raises(ValidationError):
+            train_test_split(features, targets[:-5])
+
+
+class TestKFold:
+    def test_every_sample_appears_in_exactly_one_test_fold(self):
+        data = np.arange(23).reshape(-1, 1)
+        seen = []
+        for _, test_idx in KFold(n_splits=5).split(data):
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(23))
+
+    def test_number_of_folds(self):
+        data = np.arange(10).reshape(-1, 1)
+        assert len(list(KFold(n_splits=5).split(data))) == 5
+
+    def test_train_and_test_are_disjoint(self):
+        data = np.arange(20).reshape(-1, 1)
+        for train_idx, test_idx in KFold(n_splits=4).split(data):
+            assert set(train_idx).isdisjoint(set(test_idx))
+
+    def test_shuffle_changes_order_but_not_coverage(self):
+        data = np.arange(12).reshape(-1, 1)
+        plain = [test.tolist() for _, test in KFold(n_splits=3).split(data)]
+        shuffled = [test.tolist() for _, test in KFold(n_splits=3, shuffle=True, random_state=0).split(data)]
+        assert plain != shuffled
+        assert sorted(sum(shuffled, [])) == list(range(12))
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValidationError):
+            list(KFold(n_splits=5).split(np.arange(3).reshape(-1, 1)))
+
+    def test_invalid_n_splits(self):
+        with pytest.raises(ValidationError):
+            KFold(n_splits=1)
+
+
+class TestCrossValScore:
+    def test_returns_one_score_per_fold(self, linear_problem):
+        features, targets = linear_problem
+        scores = cross_val_score(RidgeRegression(alpha=0.1), features, targets, cv=4, random_state=0)
+        assert scores.shape == (4,)
+
+    def test_good_model_scores_better_than_bad(self, linear_problem):
+        features, targets = linear_problem
+        good = cross_val_score(RidgeRegression(alpha=0.01), features, targets, cv=3, random_state=0)
+        bad = cross_val_score(RidgeRegression(alpha=10_000.0), features, targets, cv=3, random_state=0)
+        assert good.mean() < bad.mean()
+
+    def test_custom_scoring_callable(self, linear_problem):
+        features, targets = linear_problem
+        scores = cross_val_score(
+            RidgeRegression(alpha=0.1),
+            features,
+            targets,
+            cv=3,
+            scoring=lambda y_true, y_pred: float(np.max(np.abs(y_true - y_pred))),
+            random_state=0,
+        )
+        assert np.all(scores >= 0)
+
+
+class TestGridSearchCV:
+    def test_finds_better_alpha(self, linear_problem):
+        features, targets = linear_problem
+        search = GridSearchCV(
+            RidgeRegression(), {"alpha": [0.01, 1_000.0]}, cv=3, random_state=0
+        ).fit(features, targets)
+        assert search.best_params_ == {"alpha": 0.01}
+
+    def test_results_cover_all_combinations(self, linear_problem):
+        features, targets = linear_problem
+        search = GridSearchCV(
+            DecisionTreeRegressor(),
+            {"max_depth": [1, 3], "min_samples_leaf": [1, 5]},
+            cv=3,
+            random_state=0,
+        )
+        assert search.num_combinations == 4
+        search.fit(features, targets)
+        assert len(search.results_) == 4
+
+    def test_best_estimator_is_refitted(self, linear_problem):
+        features, targets = linear_problem
+        search = GridSearchCV(RidgeRegression(), {"alpha": [0.1, 1.0]}, cv=3, random_state=0)
+        search.fit(features, targets)
+        predictions = search.predict(features)
+        assert predictions.shape == targets.shape
+
+    def test_refit_false_blocks_predict(self, linear_problem):
+        features, targets = linear_problem
+        search = GridSearchCV(RidgeRegression(), {"alpha": [0.1]}, cv=3, refit=False, random_state=0)
+        search.fit(features, targets)
+        with pytest.raises(NotFittedError):
+            search.predict(features)
+
+    def test_predict_before_fit_raises(self):
+        search = GridSearchCV(RidgeRegression(), {"alpha": [0.1]})
+        with pytest.raises(NotFittedError):
+            search.predict(np.ones((2, 2)))
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValidationError):
+            GridSearchCV(RidgeRegression(), {})
+
+    def test_greater_is_better_flips_selection(self, linear_problem):
+        features, targets = linear_problem
+        # With RMSE and greater_is_better=True the *worse* alpha wins, by construction.
+        search = GridSearchCV(
+            RidgeRegression(),
+            {"alpha": [0.01, 10_000.0]},
+            cv=3,
+            scoring=root_mean_squared_error,
+            greater_is_better=True,
+            random_state=0,
+        ).fit(features, targets)
+        assert search.best_params_ == {"alpha": 10_000.0}
+
+    def test_works_with_gradient_boosting_grid(self, linear_problem):
+        features, targets = linear_problem
+        search = GridSearchCV(
+            GradientBoostingRegressor(n_estimators=10, random_state=0),
+            {"max_depth": [2, 3], "learning_rate": [0.1]},
+            cv=3,
+            random_state=0,
+        ).fit(features[:150], targets[:150])
+        assert set(search.best_params_) == {"max_depth", "learning_rate"}

@@ -1,0 +1,93 @@
+"""Unit tests for workload/surrogate persistence and the experiment CLI runner."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments.runner import build_parser, main, run_experiments
+from repro.surrogate.persistence import load_surrogate, load_workload, save_surrogate, save_workload
+
+
+class TestWorkloadPersistence:
+    def test_round_trip_preserves_features_and_targets(self, density_workload, tmp_path):
+        path = tmp_path / "workload.npz"
+        save_workload(density_workload, path)
+        restored = load_workload(path)
+        np.testing.assert_allclose(restored.features, density_workload.features)
+        np.testing.assert_allclose(restored.targets, density_workload.targets)
+        assert restored.region_dim == density_workload.region_dim
+
+    def test_load_rejects_non_workload_archive(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, something=np.ones(3))
+        with pytest.raises(ValidationError):
+            load_workload(path)
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_workload(tmp_path / "missing.npz")
+
+
+class TestSurrogatePersistence:
+    def test_round_trip_predictions_identical(self, fitted_surf, tmp_path):
+        surrogate = fitted_surf.surrogate_
+        path = tmp_path / "surrogate.pkl"
+        save_surrogate(surrogate, path)
+        restored = load_surrogate(path)
+        probe = np.array([[0.5, 0.5, 0.1, 0.1]])
+        np.testing.assert_allclose(restored.predict(probe), surrogate.predict(probe))
+        assert restored.region_dim == surrogate.region_dim
+
+    def test_save_rejects_non_surrogate(self, tmp_path):
+        with pytest.raises(ValidationError):
+            save_surrogate("not-a-model", tmp_path / "bad.pkl")
+
+    def test_load_rejects_other_pickles(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "other.pkl"
+        with open(path, "wb") as handle:
+            pickle.dump({"not": "a surrogate"}, handle)
+        with pytest.raises(ValidationError):
+            load_surrogate(path)
+
+
+class TestRunnerCli:
+    def test_parser_accepts_known_scale(self):
+        args = build_parser().parse_args(["fig8", "--scale", "small"])
+        assert args.experiments == ["fig8"]
+        assert args.scale == "small"
+
+    def test_main_rejects_unknown_experiment(self, capsys):
+        assert main(["not-an-experiment"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_experiments_executes_and_prints(self, capsys, monkeypatch):
+        # Swap in a stub experiment so the CLI path is tested without heavy compute.
+        import repro.experiments.runner as runner_module
+
+        stub_rows = [{"metric": "value", "score": 1.0}]
+
+        class _Stub:
+            @staticmethod
+            def run(scale):
+                return stub_rows
+
+        monkeypatch.setitem(runner_module.EXPERIMENTS, "stub", _Stub)
+        executed = run_experiments(["stub"], "small")
+        output = capsys.readouterr().out
+        assert executed == ["stub"]
+        assert "stub" in output
+        assert "score" in output
+
+    def test_main_runs_stubbed_experiment(self, capsys, monkeypatch):
+        import repro.experiments.runner as runner_module
+
+        class _Stub:
+            @staticmethod
+            def run(scale):
+                return {"answer": 42}
+
+        monkeypatch.setitem(runner_module.EXPERIMENTS, "stub2", _Stub)
+        assert main(["stub2", "--scale", "small"]) == 0
+        assert "42" in capsys.readouterr().out

@@ -1,0 +1,230 @@
+"""Unit tests for hyper-rectangular regions and their geometry."""
+
+import numpy as np
+import pytest
+
+from repro.data.regions import (
+    Region,
+    bounding_region,
+    iou,
+    random_region,
+    rectangle_intersection_volume,
+    rectangle_union_volume,
+)
+from repro.exceptions import DimensionMismatchError, ValidationError
+
+
+def make_unit_region():
+    return Region.from_bounds([0.0, 0.0], [1.0, 1.0])
+
+
+class TestConstruction:
+    def test_center_and_half_lengths_are_stored(self):
+        region = Region([0.5, 0.5], [0.1, 0.2])
+        np.testing.assert_allclose(region.center, [0.5, 0.5])
+        np.testing.assert_allclose(region.half_lengths, [0.1, 0.2])
+
+    def test_dim_reports_number_of_dimensions(self):
+        assert Region([0.0, 0.0, 0.0], [1.0, 1.0, 1.0]).dim == 3
+
+    def test_lower_and_upper_corners(self):
+        region = Region([0.5, 0.5], [0.1, 0.2])
+        np.testing.assert_allclose(region.lower, [0.4, 0.3])
+        np.testing.assert_allclose(region.upper, [0.6, 0.7])
+
+    def test_side_lengths_are_twice_half_lengths(self):
+        region = Region([0.0], [0.25])
+        np.testing.assert_allclose(region.side_lengths, [0.5])
+
+    def test_from_bounds_round_trips(self):
+        region = Region.from_bounds([0.0, 0.2], [0.4, 1.0])
+        np.testing.assert_allclose(region.lower, [0.0, 0.2])
+        np.testing.assert_allclose(region.upper, [0.4, 1.0])
+
+    def test_from_bounds_rejects_inverted_bounds(self):
+        with pytest.raises(ValidationError):
+            Region.from_bounds([0.5, 0.5], [0.4, 1.0])
+
+    def test_negative_half_length_rejected(self):
+        with pytest.raises(ValidationError):
+            Region([0.0], [-0.1])
+
+    def test_zero_half_length_rejected(self):
+        with pytest.raises(ValidationError):
+            Region([0.0, 0.0], [0.1, 0.0])
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            Region([0.0, 0.0], [0.1])
+
+    def test_nan_center_rejected(self):
+        with pytest.raises(ValidationError):
+            Region([np.nan], [0.1])
+
+    def test_vector_round_trip(self):
+        region = Region([0.3, 0.7], [0.05, 0.1])
+        recovered = Region.from_vector(region.to_vector())
+        np.testing.assert_allclose(recovered.center, region.center)
+        np.testing.assert_allclose(recovered.half_lengths, region.half_lengths)
+
+    def test_from_vector_rejects_odd_length(self):
+        with pytest.raises(ValidationError):
+            Region.from_vector([0.1, 0.2, 0.3])
+
+
+class TestVolumeAndContainment:
+    def test_volume_of_unit_square(self):
+        assert make_unit_region().volume() == pytest.approx(1.0)
+
+    def test_volume_scales_with_half_lengths(self):
+        region = Region([0.0, 0.0], [0.5, 0.25])
+        assert region.volume() == pytest.approx(1.0 * 0.5)
+
+    def test_contains_points_inside_and_outside(self):
+        region = make_unit_region()
+        points = np.array([[0.5, 0.5], [1.5, 0.5], [-0.1, 0.2]])
+        np.testing.assert_array_equal(region.contains_points(points), [True, False, False])
+
+    def test_contains_points_boundary_is_inclusive(self):
+        region = make_unit_region()
+        assert region.contains_points(np.array([[0.0, 1.0]]))[0]
+
+    def test_contains_points_single_vector(self):
+        assert make_unit_region().contains_points(np.array([0.5, 0.5]))[0]
+
+    def test_contains_points_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            make_unit_region().contains_points(np.array([[0.1, 0.2, 0.3]]))
+
+    def test_contains_region(self):
+        outer = make_unit_region()
+        inner = Region([0.5, 0.5], [0.1, 0.1])
+        assert outer.contains_region(inner)
+        assert not inner.contains_region(outer)
+
+    def test_intersects_overlapping_and_disjoint(self):
+        first = Region.from_bounds([0.0, 0.0], [0.5, 0.5])
+        second = Region.from_bounds([0.4, 0.4], [1.0, 1.0])
+        third = Region.from_bounds([0.8, 0.8], [1.0, 1.0])
+        assert first.intersects(second)
+        assert not first.intersects(third)
+
+
+class TestOverlapMetrics:
+    def test_intersection_volume_of_identical_regions(self):
+        region = make_unit_region()
+        assert region.intersection_volume(region) == pytest.approx(region.volume())
+
+    def test_intersection_volume_disjoint_is_zero(self):
+        first = Region.from_bounds([0.0, 0.0], [0.2, 0.2])
+        second = Region.from_bounds([0.5, 0.5], [0.9, 0.9])
+        assert first.intersection_volume(second) == 0.0
+
+    def test_union_volume_inclusion_exclusion(self):
+        first = Region.from_bounds([0.0, 0.0], [0.5, 1.0])
+        second = Region.from_bounds([0.25, 0.0], [0.75, 1.0])
+        expected = 0.5 + 0.5 - 0.25
+        assert first.union_volume(second) == pytest.approx(expected)
+
+    def test_iou_identical_is_one(self):
+        region = make_unit_region()
+        assert region.iou(region) == pytest.approx(1.0)
+
+    def test_iou_disjoint_is_zero(self):
+        first = Region.from_bounds([0.0, 0.0], [0.1, 0.1])
+        second = Region.from_bounds([0.5, 0.5], [0.9, 0.9])
+        assert first.iou(second) == 0.0
+
+    def test_iou_known_value(self):
+        first = Region.from_bounds([0.0, 0.0], [1.0, 1.0])
+        second = Region.from_bounds([0.5, 0.0], [1.5, 1.0])
+        assert first.iou(second) == pytest.approx(0.5 / 1.5)
+
+    def test_iou_is_symmetric(self):
+        first = Region.from_bounds([0.0, 0.0], [0.6, 0.6])
+        second = Region.from_bounds([0.3, 0.2], [0.9, 1.0])
+        assert first.iou(second) == pytest.approx(second.iou(first))
+
+    def test_module_level_helpers_match_methods(self):
+        first = Region.from_bounds([0.0, 0.0], [0.6, 0.6])
+        second = Region.from_bounds([0.3, 0.2], [0.9, 1.0])
+        assert iou(first, second) == pytest.approx(first.iou(second))
+        assert rectangle_intersection_volume(first, second) == pytest.approx(
+            first.intersection_volume(second)
+        )
+        assert rectangle_union_volume(first, second) == pytest.approx(first.union_volume(second))
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            make_unit_region().iou(Region([0.5], [0.1]))
+
+
+class TestTransforms:
+    def test_clipped_respects_bounds(self):
+        region = Region([0.9, 0.9], [0.3, 0.3])
+        clipped = region.clipped([0.0, 0.0], [1.0, 1.0])
+        assert np.all(clipped.upper <= 1.0 + 1e-12)
+        assert np.all(clipped.lower >= 0.6 - 1e-12)
+
+    def test_clipped_keeps_interior_region_unchanged(self):
+        region = Region([0.5, 0.5], [0.1, 0.1])
+        clipped = region.clipped([0.0, 0.0], [1.0, 1.0])
+        np.testing.assert_allclose(clipped.center, region.center)
+        np.testing.assert_allclose(clipped.half_lengths, region.half_lengths)
+
+    def test_expanded_scales_half_lengths(self):
+        region = Region([0.5], [0.1])
+        assert region.expanded(2.0).half_lengths[0] == pytest.approx(0.2)
+
+    def test_expanded_rejects_non_positive_factor(self):
+        with pytest.raises(ValidationError):
+            Region([0.5], [0.1]).expanded(0.0)
+
+    def test_translated_moves_center_only(self):
+        region = Region([0.5, 0.5], [0.1, 0.1])
+        moved = region.translated([0.1, -0.2])
+        np.testing.assert_allclose(moved.center, [0.6, 0.3])
+        np.testing.assert_allclose(moved.half_lengths, region.half_lengths)
+
+    def test_translated_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            Region([0.5, 0.5], [0.1, 0.1]).translated([0.1])
+
+
+class TestHelpers:
+    def test_bounding_region_contains_all_points(self, rng):
+        points = rng.uniform(-2.0, 3.0, size=(100, 3))
+        box = bounding_region(points)
+        assert box.contains_points(points).all()
+
+    def test_bounding_region_padding_strictly_contains(self, rng):
+        points = rng.uniform(size=(50, 2))
+        box = bounding_region(points, padding=0.1)
+        assert np.all(box.lower < points.min(axis=0))
+        assert np.all(box.upper > points.max(axis=0))
+
+    def test_bounding_region_handles_constant_column(self):
+        points = np.column_stack([np.linspace(0, 1, 10), np.full(10, 0.5)])
+        box = bounding_region(points)
+        assert box.half_lengths[1] > 0
+
+    def test_random_region_stays_inside_padded_bounds(self, rng):
+        bounds = Region.from_bounds([0.0, 0.0], [1.0, 1.0])
+        for _ in range(20):
+            region = random_region(rng, bounds)
+            assert np.all(region.center >= bounds.lower)
+            assert np.all(region.center <= bounds.upper)
+
+    def test_random_region_volume_fraction_in_range(self, rng):
+        bounds = Region.from_bounds([0.0, 0.0, 0.0], [1.0, 1.0, 1.0])
+        for _ in range(50):
+            region = random_region(rng, bounds, min_fraction=0.01, max_fraction=0.15)
+            fraction = region.volume()
+            assert 0.009 <= fraction <= 0.151
+
+    def test_random_region_rejects_bad_fractions(self, rng):
+        bounds = Region.from_bounds([0.0], [1.0])
+        with pytest.raises(ValidationError):
+            random_region(rng, bounds, min_fraction=0.2, max_fraction=0.1)
+        with pytest.raises(ValidationError):
+            random_region(rng, bounds, min_fraction=0.1, max_fraction=1.5)

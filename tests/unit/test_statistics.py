@@ -1,0 +1,131 @@
+"""Unit tests for region statistics (Definition 2/3)."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.statistics import (
+    AverageStatistic,
+    CountStatistic,
+    MedianStatistic,
+    RatioStatistic,
+    SumStatistic,
+    VarianceStatistic,
+    make_statistic,
+)
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def labelled_dataset():
+    values = np.array(
+        [
+            [0.1, 0.1, 2.0, 1.0],
+            [0.2, 0.2, 4.0, 0.0],
+            [0.3, 0.3, 6.0, 1.0],
+            [0.8, 0.8, 8.0, 0.0],
+        ]
+    )
+    return Dataset(values, ["x", "y", "measurement", "label"])
+
+
+def full_mask(dataset):
+    return np.ones(dataset.num_rows, dtype=bool)
+
+
+class TestCountStatistic:
+    def test_counts_selected_rows(self, labelled_dataset):
+        statistic = CountStatistic()
+        mask = np.array([True, False, True, False])
+        assert statistic.compute(labelled_dataset, mask) == 2.0
+
+    def test_region_columns_are_all_columns(self, labelled_dataset):
+        assert CountStatistic().region_columns(labelled_dataset) == labelled_dataset.column_names
+
+    def test_empty_mask_counts_zero(self, labelled_dataset):
+        assert CountStatistic().compute(labelled_dataset, np.zeros(4, dtype=bool)) == 0.0
+
+    def test_name(self):
+        assert CountStatistic().name == "count"
+
+
+class TestAttributeStatistics:
+    def test_average(self, labelled_dataset):
+        statistic = AverageStatistic("measurement")
+        assert statistic.compute(labelled_dataset, full_mask(labelled_dataset)) == pytest.approx(5.0)
+
+    def test_average_excludes_target_from_region_columns(self, labelled_dataset):
+        columns = AverageStatistic("measurement").region_columns(labelled_dataset)
+        assert "measurement" not in columns
+        assert columns == ["x", "y", "label"]
+
+    def test_average_can_keep_target_in_region(self, labelled_dataset):
+        statistic = AverageStatistic("measurement", exclude_target_from_region=False)
+        assert statistic.region_columns(labelled_dataset) == labelled_dataset.column_names
+
+    def test_average_of_empty_region_is_empty_value(self, labelled_dataset):
+        statistic = AverageStatistic("measurement")
+        assert statistic.compute(labelled_dataset, np.zeros(4, dtype=bool)) == statistic.empty_value
+
+    def test_sum(self, labelled_dataset):
+        assert SumStatistic("measurement").compute(labelled_dataset, full_mask(labelled_dataset)) == 20.0
+
+    def test_variance(self, labelled_dataset):
+        expected = np.var([2.0, 4.0, 6.0, 8.0])
+        statistic = VarianceStatistic("measurement")
+        assert statistic.compute(labelled_dataset, full_mask(labelled_dataset)) == pytest.approx(expected)
+
+    def test_median(self, labelled_dataset):
+        statistic = MedianStatistic("measurement")
+        assert statistic.compute(labelled_dataset, full_mask(labelled_dataset)) == pytest.approx(5.0)
+
+    def test_ratio(self, labelled_dataset):
+        statistic = RatioStatistic("label", positive_value=1.0)
+        assert statistic.compute(labelled_dataset, full_mask(labelled_dataset)) == pytest.approx(0.5)
+
+    def test_ratio_of_subset(self, labelled_dataset):
+        statistic = RatioStatistic("label", positive_value=1.0)
+        mask = np.array([True, True, True, False])
+        assert statistic.compute(labelled_dataset, mask) == pytest.approx(2.0 / 3.0)
+
+    def test_region_dim_matches_columns(self, labelled_dataset):
+        assert CountStatistic().region_dim(labelled_dataset) == 4
+        assert AverageStatistic("measurement").region_dim(labelled_dataset) == 3
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name, expected_type",
+        [
+            ("count", CountStatistic),
+            ("density", CountStatistic),
+        ],
+    )
+    def test_count_aliases(self, name, expected_type):
+        assert isinstance(make_statistic(name), expected_type)
+
+    @pytest.mark.parametrize(
+        "name, expected_type",
+        [
+            ("average", AverageStatistic),
+            ("aggregate", AverageStatistic),
+            ("sum", SumStatistic),
+            ("variance", VarianceStatistic),
+            ("median", MedianStatistic),
+        ],
+    )
+    def test_attribute_statistics_require_target(self, name, expected_type):
+        statistic = make_statistic(name, target_column="measurement")
+        assert isinstance(statistic, expected_type)
+
+    def test_ratio_requires_positive_value(self):
+        statistic = make_statistic("ratio", target_column="label", positive_value=1.0)
+        assert isinstance(statistic, RatioStatistic)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValidationError):
+            make_statistic("p99")
+
+    def test_missing_argument_rejected(self):
+        with pytest.raises(ValidationError):
+            make_statistic("average")

@@ -1,0 +1,182 @@
+"""Unit tests for the surrogate layer: workloads, training and the fitted wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.data.regions import Region
+from repro.exceptions import ValidationError
+from repro.ml.boosting import GradientBoostingRegressor
+from repro.ml.knn import KNeighborsRegressor
+from repro.surrogate.model import SurrogateModel
+from repro.surrogate.training import SurrogateTrainer, default_param_grid
+from repro.surrogate.workload import (
+    RegionEvaluation,
+    RegionWorkload,
+    generate_workload,
+    recommended_workload_size,
+)
+
+
+class TestWorkload:
+    def test_generate_workload_sizes_and_dim(self, density_engine):
+        workload = generate_workload(density_engine, 50, random_state=1)
+        assert len(workload) == 50
+        assert workload.region_dim == density_engine.region_dim
+        assert workload.features.shape == (50, 2 * density_engine.region_dim)
+        assert workload.targets.shape == (50,)
+
+    def test_workload_values_match_engine(self, density_engine):
+        workload = generate_workload(density_engine, 10, random_state=2)
+        for evaluation in workload:
+            assert density_engine.evaluate(evaluation.region) == pytest.approx(evaluation.value)
+
+    def test_generated_regions_respect_volume_fractions(self, density_engine):
+        workload = generate_workload(
+            density_engine, 40, min_fraction=0.01, max_fraction=0.15, random_state=3
+        )
+        bounds = density_engine.region_bounds()
+        domain_volume = bounds.volume()
+        for evaluation in workload:
+            fraction = evaluation.region.volume() / domain_volume
+            assert 0.005 <= fraction <= 0.16
+
+    def test_subset_and_split(self, density_workload):
+        subset = density_workload.subset(100, random_state=0)
+        assert len(subset) == 100
+        train, test = density_workload.split(test_fraction=0.25, random_state=0)
+        assert len(train) + len(test) == len(density_workload)
+        assert len(test) == round(0.25 * len(density_workload))
+
+    def test_merged_with(self, density_workload):
+        merged = density_workload.merged_with(density_workload)
+        assert len(merged) == 2 * len(density_workload)
+
+    def test_indexing_and_iteration(self, density_workload):
+        first = density_workload[0]
+        assert isinstance(first, RegionEvaluation)
+        assert first.vector.shape == (2 * density_workload.region_dim,)
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValidationError):
+            RegionWorkload([])
+
+    def test_mixed_dimensionality_rejected(self):
+        evaluations = [
+            RegionEvaluation(Region([0.5], [0.1]), 1.0),
+            RegionEvaluation(Region([0.5, 0.5], [0.1, 0.1]), 2.0),
+        ]
+        with pytest.raises(ValidationError):
+            RegionWorkload(evaluations)
+
+    def test_invalid_subset_size_rejected(self, density_workload):
+        with pytest.raises(ValidationError):
+            density_workload.subset(0)
+        with pytest.raises(ValidationError):
+            density_workload.subset(10_000)
+
+    def test_recommended_workload_size_grows_with_dim(self):
+        assert recommended_workload_size(1) < recommended_workload_size(3)
+        assert recommended_workload_size(10) <= 300_000
+
+
+class TestSurrogateTrainer:
+    def test_training_produces_accurate_surrogate(self, density_workload, density_engine):
+        trainer = SurrogateTrainer(
+            estimator=GradientBoostingRegressor(n_estimators=60, max_depth=4, random_state=0),
+            random_state=0,
+        )
+        surrogate = trainer.train(density_workload)
+        report = trainer.last_report_
+        assert report.test_rmse is not None
+        # The statistic spans roughly [0, few thousand]; the surrogate should do
+        # far better than predicting the mean everywhere.
+        baseline = float(np.std(density_workload.targets))
+        assert report.test_rmse < baseline
+
+    def test_report_fields(self, density_workload):
+        trainer = SurrogateTrainer(random_state=0)
+        trainer.train(density_workload)
+        report = trainer.last_report_
+        assert report.num_training_examples < len(density_workload)
+        assert report.training_seconds > 0
+        assert not report.hypertuned
+        assert report.best_params is None
+
+    def test_hypertuning_records_best_params(self, density_workload):
+        small_workload = density_workload.subset(150, random_state=1)
+        trainer = SurrogateTrainer(
+            estimator=GradientBoostingRegressor(n_estimators=20, random_state=0),
+            hypertune=True,
+            param_grid={"max_depth": [2, 4], "learning_rate": [0.1]},
+            cv=2,
+            random_state=0,
+        )
+        trainer.train(small_workload)
+        report = trainer.last_report_
+        assert report.hypertuned
+        assert set(report.best_params) == {"max_depth", "learning_rate"}
+        assert len(report.cv_results) == 2
+
+    def test_holdout_can_be_disabled(self, density_workload):
+        trainer = SurrogateTrainer(holdout_fraction=0.0, random_state=0)
+        trainer.train(density_workload)
+        report = trainer.last_report_
+        assert report.num_training_examples == len(density_workload)
+        assert report.test_rmse is None
+
+    def test_invalid_holdout_rejected(self):
+        with pytest.raises(ValidationError):
+            SurrogateTrainer(holdout_fraction=1.0)
+
+    def test_alternative_estimator_family(self, density_workload):
+        trainer = SurrogateTrainer(estimator=KNeighborsRegressor(n_neighbors=5), random_state=0)
+        surrogate = trainer.train(density_workload)
+        assert isinstance(surrogate.estimator, KNeighborsRegressor)
+
+    def test_default_param_grid_matches_paper_parameters(self):
+        full = default_param_grid(small=False)
+        assert set(full) == {"learning_rate", "max_depth", "n_estimators", "reg_lambda"}
+        combinations = 1
+        for values in full.values():
+            combinations *= len(values)
+        assert combinations == 144  # 3 × 4 × 3 × 4, as stated in the paper
+
+
+class TestSurrogateModel:
+    def test_predict_region_matches_vector(self, fitted_surf, small_density_synthetic):
+        surrogate = fitted_surf.surrogate_
+        region = small_density_synthetic.ground_truth[0].region
+        assert surrogate.predict_region(region) == pytest.approx(
+            surrogate.predict_vector(region.to_vector())
+        )
+
+    def test_predict_shapes(self, fitted_surf):
+        surrogate = fitted_surf.surrogate_
+        vectors = np.tile(np.array([0.5, 0.5, 0.1, 0.1]), (7, 1))
+        assert surrogate.predict(vectors).shape == (7,)
+
+    def test_predict_accepts_single_vector(self, fitted_surf):
+        surrogate = fitted_surf.surrogate_
+        assert np.isscalar(surrogate.predict_vector(np.array([0.5, 0.5, 0.1, 0.1])))
+
+    def test_dimension_checks(self, fitted_surf):
+        surrogate = fitted_surf.surrogate_
+        with pytest.raises(ValidationError):
+            surrogate.predict(np.ones((2, 3)))
+        with pytest.raises(ValidationError):
+            surrogate.predict_region(Region([0.5], [0.1]))
+
+    def test_surrogate_tracks_planted_density_peak(self, fitted_surf, small_density_synthetic):
+        surrogate = fitted_surf.surrogate_
+        truth = small_density_synthetic.ground_truth[0].region
+        background = truth.translated(np.full(truth.dim, 0.4)).clipped([0.0, 0.0], [1.0, 1.0])
+        assert surrogate.predict_region(truth) > surrogate.predict_region(background)
+
+    def test_rmse_helper(self, fitted_surf, density_workload):
+        surrogate = fitted_surf.surrogate_
+        rmse = surrogate.rmse(density_workload.features, density_workload.targets)
+        assert rmse >= 0
+
+    def test_invalid_region_dim_rejected(self):
+        with pytest.raises(ValidationError):
+            SurrogateModel(GradientBoostingRegressor(), region_dim=0)

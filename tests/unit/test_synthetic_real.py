@@ -1,0 +1,164 @@
+"""Unit tests for the synthetic ground-truth generators and real-data stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.engine import DataEngine
+from repro.data.real import (
+    ACTIVITY_CLASSES,
+    activity_stand_region,
+    crimes_hotspot_regions,
+    make_activity_like,
+    make_crimes_like,
+)
+from repro.data.statistics import CountStatistic, RatioStatistic
+from repro.data.synthetic import (
+    SyntheticConfig,
+    make_benchmark_suite,
+    make_synthetic_dataset,
+)
+from repro.exceptions import ValidationError
+
+
+class TestSyntheticConfig:
+    def test_rejects_unknown_statistic(self):
+        with pytest.raises(ValidationError):
+            SyntheticConfig(statistic="p99")
+
+    def test_rejects_zero_dimensions(self):
+        with pytest.raises(ValidationError):
+            SyntheticConfig(dim=0)
+
+    def test_rejects_zero_regions(self):
+        with pytest.raises(ValidationError):
+            SyntheticConfig(num_regions=0)
+
+    def test_rejects_absurd_half_length(self):
+        with pytest.raises(ValidationError):
+            SyntheticConfig(region_half_length=0.7)
+
+
+class TestDensityDatasets:
+    def test_ground_truth_regions_are_denser_than_background(self, small_density_synthetic):
+        synthetic = small_density_synthetic
+        engine = DataEngine(synthetic.dataset, synthetic.statistic)
+        truth = synthetic.ground_truth[0]
+        shifted = truth.region.translated(np.full(truth.region.dim, 0.4))
+        shifted = shifted.clipped([0.0, 0.0], [1.0, 1.0])
+        assert engine.evaluate(truth.region) > 2 * engine.evaluate(shifted)
+
+    def test_number_of_ground_truth_regions(self, multi_region_synthetic):
+        assert len(multi_region_synthetic.ground_truth) == 3
+
+    def test_ground_truth_regions_do_not_overlap(self, multi_region_synthetic):
+        regions = multi_region_synthetic.ground_truth_regions
+        for i in range(len(regions)):
+            for j in range(i + 1, len(regions)):
+                assert regions[i].iou(regions[j]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_total_points_match_config(self):
+        config = SyntheticConfig(statistic="density", dim=2, num_regions=2, num_points=2_000, random_state=0)
+        synthetic = make_synthetic_dataset(config)
+        expected = config.num_points + config.num_regions * config.points_per_region
+        assert synthetic.dataset.num_rows == expected
+
+    def test_statistic_is_count(self, small_density_synthetic):
+        assert isinstance(small_density_synthetic.statistic, CountStatistic)
+
+    def test_suggested_threshold_below_ground_truth(self, small_density_synthetic):
+        threshold = small_density_synthetic.suggested_threshold()
+        weakest = min(gt.statistic_value for gt in small_density_synthetic.ground_truth)
+        assert 0 < threshold < weakest
+
+    def test_reproducible_with_same_seed(self):
+        config = dict(statistic="density", dim=1, num_regions=1, num_points=1_500, random_state=9)
+        first = make_synthetic_dataset(**config)
+        second = make_synthetic_dataset(**config)
+        np.testing.assert_allclose(first.dataset.values, second.dataset.values)
+
+    def test_config_and_kwargs_are_mutually_exclusive(self):
+        config = SyntheticConfig(statistic="density", dim=1)
+        with pytest.raises(ValidationError):
+            make_synthetic_dataset(config, dim=2)
+
+
+class TestAggregateDatasets:
+    def test_target_column_present(self, aggregate_synthetic):
+        assert "target" in aggregate_synthetic.dataset.column_names
+
+    def test_region_columns_exclude_target(self, aggregate_synthetic):
+        assert "target" not in aggregate_synthetic.region_columns
+
+    def test_ground_truth_average_is_elevated(self, aggregate_synthetic):
+        config = aggregate_synthetic.config
+        for truth in aggregate_synthetic.ground_truth:
+            assert truth.statistic_value > 0.75 * config.region_target_mean
+
+    def test_background_average_is_low(self, aggregate_synthetic):
+        engine = DataEngine(aggregate_synthetic.dataset, aggregate_synthetic.statistic)
+        truth = aggregate_synthetic.ground_truth[0].region
+        shifted = truth.translated(np.full(truth.dim, 0.45)).clipped([0.0, 0.0], [1.0, 1.0])
+        assert engine.evaluate(shifted) < 2.0
+
+
+class TestBenchmarkSuite:
+    def test_suite_size_matches_grid(self):
+        suite = make_benchmark_suite(dims=(1, 2), region_counts=(1,), statistics=("density",), num_points=1_200)
+        assert len(suite) == 2
+
+    def test_suite_covers_both_statistics(self):
+        suite = make_benchmark_suite(dims=(1,), region_counts=(1,), num_points=1_200)
+        kinds = {synthetic.config.statistic for synthetic in suite}
+        assert kinds == {"density", "aggregate"}
+
+
+class TestCrimesLike:
+    def test_columns_and_range(self):
+        crimes = make_crimes_like(num_points=2_000, random_state=1)
+        assert crimes.column_names == ["x_coordinate", "y_coordinate"]
+        assert crimes.values.min() >= 0.0
+        assert crimes.values.max() <= 1.0
+
+    def test_hotspots_are_denser_than_background(self):
+        crimes = make_crimes_like(num_points=5_000, random_state=1)
+        engine = DataEngine(crimes, CountStatistic())
+        hotspot = crimes_hotspot_regions()[0]
+        background = hotspot.translated([0.3, -0.25]).clipped([0.0, 0.0], [1.0, 1.0])
+        assert engine.evaluate(hotspot) > 2 * engine.evaluate(background)
+
+    def test_num_points_respected(self):
+        crimes = make_crimes_like(num_points=1_234, random_state=0)
+        assert crimes.num_rows == 1_234
+
+    def test_rejects_tiny_datasets(self):
+        with pytest.raises(ValidationError):
+            make_crimes_like(num_points=10)
+
+    def test_rejects_bad_background_fraction(self):
+        with pytest.raises(ValidationError):
+            make_crimes_like(num_points=1_000, background_fraction=1.5)
+
+
+class TestActivityLike:
+    def test_columns(self):
+        activity = make_activity_like(num_points=2_000, random_state=2)
+        assert activity.column_names == ["acc_x", "acc_y", "acc_z", "activity"]
+
+    def test_stand_ratio_is_low_globally_high_locally(self):
+        activity = make_activity_like(num_points=5_000, random_state=2)
+        statistic = RatioStatistic("activity", positive_value=ACTIVITY_CLASSES["stand"])
+        engine = DataEngine(activity, statistic)
+        global_ratio = np.mean(np.isclose(activity.column("activity"), ACTIVITY_CLASSES["stand"]))
+        local_ratio = engine.evaluate(activity_stand_region())
+        assert global_ratio < 0.15
+        assert local_ratio > 3 * global_ratio
+
+    def test_rejects_bad_stand_fraction(self):
+        with pytest.raises(ValidationError):
+            make_activity_like(num_points=1_000, stand_fraction=0.9)
+
+    def test_labels_are_known_classes(self):
+        activity = make_activity_like(num_points=1_000, random_state=4)
+        labels = set(np.unique(activity.column("activity")).tolist())
+        assert labels.issubset(set(ACTIVITY_CLASSES.values()))

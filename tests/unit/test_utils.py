@@ -1,0 +1,122 @@
+"""Unit tests for the shared utility helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    DimensionMismatchError,
+    ReproError,
+    TimeoutExceededError,
+    ValidationError,
+)
+from repro.utils.rng import ensure_rng, optional_seed, spawn_rng
+from repro.utils.validation import (
+    check_array,
+    check_dimensions_match,
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_same_length,
+)
+
+
+class TestRng:
+    def test_none_creates_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        first = ensure_rng(42).uniform(size=5)
+        second = ensure_rng(42).uniform(size=5)
+        np.testing.assert_allclose(first, second)
+
+    def test_generator_passes_through(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_spawn_rng_children_are_independent(self):
+        rng = np.random.default_rng(1)
+        children = spawn_rng(rng, 3)
+        assert len(children) == 3
+        draws = [child.uniform() for child in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_rng_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rng(np.random.default_rng(0), -1)
+
+    def test_optional_seed_in_range(self):
+        seed = optional_seed(np.random.default_rng(0))
+        assert 0 <= seed < 2**31
+
+
+class TestValidation:
+    def test_check_array_converts_lists(self):
+        array = check_array([[1, 2], [3, 4]], ndim=2)
+        assert array.dtype == np.float64
+        assert array.shape == (2, 2)
+
+    def test_check_array_rejects_wrong_ndim(self):
+        with pytest.raises(ValidationError):
+            check_array([1.0, 2.0], ndim=2)
+
+    def test_check_array_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_array([np.nan, 1.0])
+
+    def test_check_array_rejects_empty_by_default(self):
+        with pytest.raises(ValidationError):
+            check_array([])
+        assert check_array([], allow_empty=True).size == 0
+
+    def test_check_array_rejects_non_numeric(self):
+        with pytest.raises(ValidationError):
+            check_array(["a", "b"])
+
+    def test_check_positive(self):
+        assert check_positive(1.5) == 1.5
+        with pytest.raises(ValidationError):
+            check_positive(0.0)
+        assert check_positive(0.0, strict=False) == 0.0
+        with pytest.raises(ValidationError):
+            check_positive(-1.0, strict=False)
+        with pytest.raises(ValidationError):
+            check_positive(np.inf)
+
+    def test_check_in_range(self):
+        assert check_in_range(0.5, 0.0, 1.0) == 0.5
+        with pytest.raises(ValidationError):
+            check_in_range(1.5, 0.0, 1.0)
+        with pytest.raises(ValidationError):
+            check_in_range(0.0, 0.0, 1.0, inclusive=False)
+
+    def test_check_probability(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+        with pytest.raises(ValidationError):
+            check_probability(1.2)
+
+    def test_check_same_length(self):
+        check_same_length([1, 2], [3, 4])
+        with pytest.raises(DimensionMismatchError):
+            check_same_length([1, 2], [3])
+
+    def test_check_dimensions_match(self):
+        check_dimensions_match(3, 3)
+        with pytest.raises(DimensionMismatchError):
+            check_dimensions_match(2, 3)
+
+
+class TestExceptions:
+    def test_hierarchy(self):
+        assert issubclass(ValidationError, ReproError)
+        assert issubclass(ValidationError, ValueError)
+        assert issubclass(DimensionMismatchError, ValidationError)
+        assert issubclass(TimeoutExceededError, RuntimeError)
+
+    def test_timeout_records_fraction(self):
+        error = TimeoutExceededError("too slow", fraction_done=0.25)
+        assert error.fraction_done == 0.25
