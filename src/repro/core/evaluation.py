@@ -72,7 +72,8 @@ def compliance_rate(
     regions = _as_regions(proposals)
     if not regions:
         return 0.0
-    satisfied = sum(1 for region in regions if query.satisfied_by(engine.evaluate(region)))
+    values = engine.evaluate_many(regions)
+    satisfied = sum(1 for value in values if query.satisfied_by(value))
     return satisfied / len(regions)
 
 
@@ -82,4 +83,4 @@ def proposal_statistics(
 ) -> np.ndarray:
     """True statistic value for each proposal (useful for reports and plots)."""
     regions = _as_regions(proposals)
-    return np.asarray([engine.evaluate(region) for region in regions], dtype=np.float64)
+    return engine.evaluate_many(regions)

@@ -257,6 +257,7 @@ class SuRF:
             self.surrogate_.predict_vector,
             overlap_threshold=self.overlap_threshold,
             max_proposals=max_proposals,
+            batch_predictor=self.surrogate_.predict,
         )
         elapsed = time.perf_counter() - start
         return RegionSearchResult(

@@ -53,6 +53,7 @@ def proposals_from_result(
     overlap_threshold: float = 0.3,
     max_proposals: Optional[int] = None,
     min_support: int = 1,
+    batch_predictor: Optional[Callable[[np.ndarray], np.ndarray]] = None,
 ) -> List[RegionProposal]:
     """Cluster the final swarm into distinct region proposals.
 
@@ -76,6 +77,9 @@ def proposals_from_result(
         Keep at most this many proposals (highest objective first).
     min_support:
         Drop proposals supported by fewer than this many particles.
+    batch_predictor:
+        Optional vectorised ``(m, 2d) -> (m,)`` version of ``predictor``; used
+        to annotate each cluster in one call instead of one call per particle.
     """
     if not 0 <= overlap_threshold <= 1:
         raise ValidationError(f"overlap_threshold must be in [0, 1], got {overlap_threshold}")
@@ -110,7 +114,10 @@ def proposals_from_result(
         if len(indices) < min_support:
             continue
         cluster_vectors = positions[indices]
-        predictions = np.asarray([float(predictor(vector)) for vector in cluster_vectors])
+        if batch_predictor is not None:
+            predictions = np.asarray(batch_predictor(cluster_vectors), dtype=np.float64)
+        else:
+            predictions = np.asarray([float(predictor(vector)) for vector in cluster_vectors])
         margins = np.asarray([objective.query.margin(value) for value in predictions])
         best = int(np.argmax(margins))
         proposals.append(

@@ -19,6 +19,12 @@ from repro.data.statistics import CountStatistic, StatisticSpec
 from repro.exceptions import ValidationError
 
 
+#: Cap on the number of boolean mask entries materialised at once by
+#: :meth:`DataEngine.evaluate_batch` (16M entries = 16 MB); larger batches are
+#: processed in row blocks of this size.
+MAX_MASK_ELEMENTS = 16_777_216
+
+
 class DataEngine:
     """Evaluates region statistics exactly against a :class:`Dataset`.
 
@@ -50,6 +56,11 @@ class DataEngine:
             raise ValidationError("statistic leaves no columns to define regions over")
         self._region_positions = [dataset.column_position(c) for c in self._region_columns]
         self._region_values = dataset.values[:, self._region_positions]
+        # Contiguous per-dimension columns for the batched mask kernel.
+        self._region_column_values = [
+            np.ascontiguousarray(self._region_values[:, k])
+            for k in range(self._region_values.shape[1])
+        ]
         self._evaluations = 0
         self._index: Optional[GridIndex] = None
         if use_index:
@@ -96,26 +107,123 @@ class DataEngine:
             raise ValidationError(
                 f"region has dimensionality {region.dim}, engine expects {self.region_dim}"
             )
+        return self.region_masks(region.lower[None, :], region.upper[None, :])[0]
+
+    def region_masks(self, lowers: np.ndarray, uppers: np.ndarray) -> np.ndarray:
+        """Boolean ``(M, N)`` matrix of dataset rows inside each of ``M`` regions.
+
+        ``lowers``/``uppers`` are ``(M, d)`` corner matrices over the region
+        columns.  Without an index the masks are computed by one broadcast
+        comparison per dimension, blocked over regions so the working set stays
+        cache resident; with a :class:`GridIndex` the candidate rows come from
+        :meth:`GridIndex.query_many`.  Either way the masks are exactly those
+        of :meth:`region_mask` row by row.
+        """
+        lowers = np.asarray(lowers, dtype=np.float64)
+        uppers = np.asarray(uppers, dtype=np.float64)
+        if lowers.ndim != 2 or lowers.shape != uppers.shape or lowers.shape[1] != self.region_dim:
+            raise ValidationError(
+                f"lowers/uppers must both have shape (M, {self.region_dim}), "
+                f"got {lowers.shape} and {uppers.shape}"
+            )
+        num_regions = lowers.shape[0]
+        num_rows = self._dataset.num_rows
+        masks = np.empty((num_regions, num_rows), dtype=bool)
+        if num_regions == 0:
+            return masks
         if self._index is not None:
-            mask = np.zeros(self._dataset.num_rows, dtype=bool)
-            mask[self._index.query_indices(region)] = True
-            return mask
-        values = self._region_values
-        return np.all((values >= region.lower) & (values <= region.upper), axis=1)
+            masks[:] = False
+            for row, indices in enumerate(self._index.query_many(lowers, uppers)):
+                masks[row, indices] = True
+            return masks
+        columns = self._region_column_values
+        # Block over regions so each (chunk, N) operand fits in L2 cache; the
+        # scratch buffer is reused across chunks and dimensions.
+        chunk = max(1, 262_144 // max(num_rows, 1))
+        band = np.empty((min(chunk, num_regions), num_rows), dtype=bool)
+        for start in range(0, num_regions, chunk):
+            stop = min(start + chunk, num_regions)
+            out = masks[start:stop]
+            scratch = band[: stop - start]
+            np.greater_equal(columns[0], lowers[start:stop, 0, None], out=out)
+            np.less_equal(columns[0], uppers[start:stop, 0, None], out=scratch)
+            np.logical_and(out, scratch, out=out)
+            for axis in range(1, len(columns)):
+                np.greater_equal(columns[axis], lowers[start:stop, axis, None], out=scratch)
+                np.logical_and(out, scratch, out=out)
+                np.less_equal(columns[axis], uppers[start:stop, axis, None], out=scratch)
+                np.logical_and(out, scratch, out=out)
+        return masks
 
     def evaluate(self, region: Region) -> float:
-        """Evaluate ``y = f(x, l)`` exactly for ``region``."""
-        self._evaluations += 1
-        mask = self.region_mask(region)
-        return self._statistic.compute(self._dataset, mask)
+        """Evaluate ``y = f(x, l)`` exactly for ``region``.
+
+        Thin wrapper over :meth:`evaluate_batch` with a single-row batch.
+        """
+        if region.dim != self.region_dim:
+            raise ValidationError(
+                f"region has dimensionality {region.dim}, engine expects {self.region_dim}"
+            )
+        return float(self.evaluate_batch(region.to_vector()[None, :])[0])
 
     def evaluate_vector(self, vector: np.ndarray) -> float:
         """Evaluate a region encoded as the ``2d`` solution vector ``[x, l]``."""
         return self.evaluate(Region.from_vector(vector))
 
+    def evaluate_batch(self, vectors: np.ndarray) -> np.ndarray:
+        """Evaluate ``M`` regions encoded as an ``(M, 2d)`` matrix of ``[x, l]`` vectors.
+
+        This is the data layer's hot path: all ``M`` region masks are computed
+        by one broadcast per dimension (see :meth:`region_masks`) and the
+        statistic is reduced per region by
+        :meth:`~repro.data.statistics.StatisticSpec.compute_batch`.  For every
+        row the scalar path accepts, the result is identical to
+        :meth:`evaluate_vector`, and the evaluation counter advances by ``M``
+        either way.  One deliberate divergence: rows whose half lengths are
+        non-positive (which :class:`~repro.data.regions.Region` — and hence
+        the scalar path — rejects with a ``ValidationError``) are accepted
+        here as empty regions and yield the statistic's ``empty_value``.
+
+        Mask matrices are produced and reduced in bounded-size row blocks, so
+        peak memory stays O(block * N) regardless of ``M``.
+        """
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != 2 * self.region_dim:
+            raise ValidationError(
+                f"vectors must have shape (M, {2 * self.region_dim}), got {vectors.shape}"
+            )
+        num_regions = vectors.shape[0]
+        if num_regions == 0:
+            return np.empty(0, dtype=np.float64)
+        self._evaluations += num_regions
+        centers = vectors[:, : self.region_dim]
+        half_lengths = vectors[:, self.region_dim :]
+        lowers = centers - half_lengths
+        uppers = centers + half_lengths
+        # A zero half length makes lower == upper, which the corner-based mask
+        # would treat as a degenerate slab that can still catch coinciding
+        # points; the contract above says such rows are empty regions.
+        degenerate = np.any(half_lengths <= 0, axis=1)
+        # Cap the materialised mask matrix (bools) at MAX_MASK_ELEMENTS.
+        block = max(1, MAX_MASK_ELEMENTS // max(self._dataset.num_rows, 1))
+        values = np.empty(num_regions, dtype=np.float64)
+        for start in range(0, num_regions, block):
+            stop = min(start + block, num_regions)
+            masks = self.region_masks(lowers[start:stop], uppers[start:stop])
+            if degenerate[start:stop].any():
+                masks[degenerate[start:stop]] = False
+            values[start:stop] = self._statistic.compute_batch(self._dataset, masks)
+        return values
+
     def evaluate_many(self, regions: Iterable[Region]) -> np.ndarray:
-        """Evaluate a batch of regions, returning an array of statistics."""
-        return np.asarray([self.evaluate(region) for region in regions], dtype=np.float64)
+        """Evaluate a batch of regions, returning an array of statistics.
+
+        Thin wrapper over :meth:`evaluate_batch`.
+        """
+        regions = list(regions)
+        if not regions:
+            return np.empty(0, dtype=np.float64)
+        return self.evaluate_batch(np.stack([region.to_vector() for region in regions]))
 
     def support(self, region: Region) -> int:
         """Number of data points inside ``region`` regardless of the statistic."""
@@ -140,11 +248,12 @@ class DataEngine:
 
         rng = ensure_rng(random_state)
         bounds = self.region_bounds()
-        values = [
-            self.evaluate(random_region(rng, bounds, min_fraction, max_fraction))
-            for _ in range(int(num_regions))
+        # Regions are drawn first (same RNG order as evaluating one by one),
+        # then evaluated through the batched path.
+        regions = [
+            random_region(rng, bounds, min_fraction, max_fraction) for _ in range(int(num_regions))
         ]
-        return np.asarray(values, dtype=np.float64)
+        return self.evaluate_many(regions)
 
     def empirical_cdf(self, sample: np.ndarray):
         """Return a callable empirical CDF ``F_Y`` built from ``sample``."""

@@ -63,12 +63,25 @@ class GridIndex:
             flat = flat * self._cells_per_dim + coords[:, axis]
         return flat
 
-    def _cell_range(self, region: Region) -> List[np.ndarray]:
-        low = np.floor((region.lower - self._lower) / self._cell_size).astype(np.int64)
-        high = np.floor((region.upper - self._lower) / self._cell_size).astype(np.int64)
+    def _cell_box(self, lowers: np.ndarray, uppers: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Clipped integer cell coordinates of the corner(s); works row-batched."""
+        low = np.floor((lowers - self._lower) / self._cell_size).astype(np.int64)
+        high = np.floor((uppers - self._lower) / self._cell_size).astype(np.int64)
         low = np.clip(low, 0, self._cells_per_dim - 1)
         high = np.clip(high, 0, self._cells_per_dim - 1)
-        return [np.arange(low[axis], high[axis] + 1) for axis in range(self._dim)]
+        return low, high
+
+    def _candidates_in_cell_box(self, low: np.ndarray, high: np.ndarray) -> np.ndarray:
+        """Row indices bucketed in any cell of the box ``[low, high]`` (inclusive)."""
+        ranges = [np.arange(low[axis], high[axis] + 1) for axis in range(self._dim)]
+        # Enumerate the overlapped cells as a cartesian product of per-axis ranges.
+        mesh = np.meshgrid(*ranges, indexing="ij")
+        coords = np.stack([m.ravel() for m in mesh], axis=1)
+        flat = self._flatten(coords)
+        chunks = [self._buckets[key] for key in flat.tolist() if key in self._buckets]
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(chunks)
 
     # ------------------------------------------------------------------ public API
     @property
@@ -87,17 +100,8 @@ class GridIndex:
             raise ValidationError(
                 f"region has dimensionality {region.dim}, index has {self._dim}"
             )
-        ranges = self._cell_range(region)
-        # Enumerate the overlapped cells as a cartesian product of per-axis ranges.
-        mesh = np.meshgrid(*ranges, indexing="ij")
-        coords = np.stack([m.ravel() for m in mesh], axis=1)
-        flat = np.zeros(coords.shape[0], dtype=np.int64)
-        for axis in range(self._dim):
-            flat = flat * self._cells_per_dim + coords[:, axis]
-        chunks = [self._buckets[key] for key in flat.tolist() if key in self._buckets]
-        if not chunks:
-            return np.empty(0, dtype=np.int64)
-        return np.concatenate(chunks)
+        low, high = self._cell_box(region.lower, region.upper)
+        return self._candidates_in_cell_box(low, high)
 
     def query_indices(self, region: Region) -> np.ndarray:
         """Row indices of points exactly inside ``region``."""
@@ -108,6 +112,41 @@ class GridIndex:
         inside = np.all((points >= region.lower) & (points <= region.upper), axis=1)
         return candidates[inside]
 
+    def query_many(self, lowers: np.ndarray, uppers: np.ndarray) -> List[np.ndarray]:
+        """Row indices of points inside each of ``M`` regions given as corner matrices.
+
+        Parameters
+        ----------
+        lowers / uppers:
+            Region corners, both of shape ``(M, d)``.
+
+        The per-region cell ranges are computed in one whole-batch operation;
+        only the bucket gathering and the exact re-check remain per region.
+        Results are identical to calling :meth:`query_indices` per region.
+        """
+        lowers = check_array(lowers, name="lowers", ndim=2)
+        uppers = check_array(uppers, name="uppers", ndim=2)
+        if lowers.shape != uppers.shape or lowers.shape[1] != self._dim:
+            raise ValidationError(
+                f"lowers/uppers must both have shape (M, {self._dim}), "
+                f"got {lowers.shape} and {uppers.shape}"
+            )
+        low_cells, high_cells = self._cell_box(lowers, uppers)
+        results: List[np.ndarray] = []
+        for row in range(lowers.shape[0]):
+            candidates = self._candidates_in_cell_box(low_cells[row], high_cells[row])
+            if candidates.size == 0:
+                results.append(candidates)
+                continue
+            points = self._points[candidates]
+            inside = np.all((points >= lowers[row]) & (points <= uppers[row]), axis=1)
+            results.append(candidates[inside])
+        return results
+
     def count(self, region: Region) -> int:
         """Number of points inside ``region``."""
         return int(self.query_indices(region).size)
+
+    def count_many(self, lowers: np.ndarray, uppers: np.ndarray) -> np.ndarray:
+        """Number of points inside each of ``M`` regions given as corner matrices."""
+        return np.asarray([indices.size for indices in self.query_many(lowers, uppers)], dtype=np.int64)

@@ -39,6 +39,19 @@ class StatisticSpec(ABC):
     def compute(self, dataset: Dataset, mask: np.ndarray) -> float:
         """Compute the statistic over the rows of ``dataset`` selected by ``mask``."""
 
+    def compute_batch(self, dataset: Dataset, masks: np.ndarray) -> np.ndarray:
+        """Compute the statistic for every row of an ``(M, N)`` mask matrix.
+
+        The default implementation loops :meth:`compute` per mask row, so it
+        is bit-for-bit identical to scalar evaluation by construction;
+        subclasses override it with whole-batch array code only where the
+        result is provably identical (integer-valued reductions are exact in
+        float64 regardless of summation order, arbitrary float reductions are
+        not — see ``docs/architecture.md``).
+        """
+        masks = np.asarray(masks, dtype=bool)
+        return np.asarray([self.compute(dataset, mask) for mask in masks], dtype=np.float64)
+
     def region_dim(self, dataset: Dataset) -> int:
         """Dimensionality of the region vector for this statistic over ``dataset``."""
         return len(self.region_columns(dataset))
@@ -59,6 +72,12 @@ class CountStatistic(StatisticSpec):
 
     def compute(self, dataset: Dataset, mask: np.ndarray) -> float:
         return float(np.count_nonzero(mask))
+
+    def compute_batch(self, dataset: Dataset, masks: np.ndarray) -> np.ndarray:
+        # Row counts are integers, so the vectorised sum is exactly the scalar
+        # count for every region.
+        masks = np.asarray(masks, dtype=bool)
+        return masks.sum(axis=1, dtype=np.int64).astype(np.float64)
 
 
 class _AttributeStatistic(StatisticSpec):
@@ -159,6 +178,18 @@ class RatioStatistic(_AttributeStatistic):
         if values.size == 0:
             return self.empty_value
         return float(np.mean(np.isclose(values, self.positive_value)))
+
+    def compute_batch(self, dataset: Dataset, masks: np.ndarray) -> np.ndarray:
+        # A ratio is a quotient of two integer counts, both exact in float64,
+        # so the vectorised version matches the scalar one bit-for-bit.
+        masks = np.asarray(masks, dtype=bool)
+        matches = np.isclose(dataset.column(self.target_column), self.positive_value)
+        counts = masks.sum(axis=1, dtype=np.int64)
+        positives = (masks & matches[None, :]).sum(axis=1, dtype=np.int64)
+        values = np.full(masks.shape[0], self.empty_value, dtype=np.float64)
+        covered = counts > 0
+        values[covered] = positives[covered] / counts[covered]
+        return values
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

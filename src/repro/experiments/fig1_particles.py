@@ -15,7 +15,6 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.core.evaluation import compliance_rate
-from repro.data.regions import Region
 from repro.experiments import common
 from repro.experiments.config import ExperimentScale, SMALL, get_scale
 
@@ -36,8 +35,7 @@ def run(scale: ExperimentScale = SMALL, random_state: int = 7) -> Dict:
     result = finder.find_regions(query)
     optimization = result.optimization
 
-    final_regions = [Region.from_vector(vector) for vector in optimization.positions]
-    true_values = np.asarray([engine.evaluate(region) for region in final_regions])
+    true_values = engine.evaluate_batch(optimization.positions)
     satisfied = np.asarray([query.satisfied_by(value) for value in true_values])
 
     return {

@@ -14,6 +14,19 @@ This implementation adds the paper's two extensions:
   ones;
 * neighbour-selection probabilities can be re-weighted by the data mass of
   the neighbour's region (Eq. 8) via the ``selection_weight`` callback.
+
+The movement phase is implemented twice: a whole-swarm vectorised kernel (the
+default) and a per-particle reference loop (``movement="reference"``).  Both
+consume the seeded RNG stream in exactly the same order — one uniform draw per
+particle that has neighbours, one ``normal(size=d)`` draw per isolated
+infeasible particle, in particle-index order — and make the same
+floating-point decisions, so seeded runs produce bit-identical trajectories
+under either implementation.  (The one theoretical exception: the kernel
+compares squared distances against squared radii, which could disagree with
+the reference's ``norm <= radius`` only when a pairwise distance ties with a
+decision radius to within one rounding error — the equivalence tests assert
+that seeded runs are nonetheless identical.)  The reference loop is kept for
+the equivalence tests and the before/after microbenchmarks.
 """
 
 from __future__ import annotations
@@ -71,6 +84,18 @@ class GSOParameters:
             raise ValidationError(f"step_size must be > 0, got {self.step_size}")
         if self.desired_neighbours < 1:
             raise ValidationError(f"desired_neighbours must be >= 1, got {self.desired_neighbours}")
+        if self.initial_radius is not None and self.initial_radius <= 0:
+            raise ValidationError(f"initial_radius must be > 0, got {self.initial_radius}")
+        if self.max_radius is not None and self.max_radius <= 0:
+            raise ValidationError(f"max_radius must be > 0, got {self.max_radius}")
+        if (
+            self.initial_radius is not None
+            and self.max_radius is not None
+            and self.max_radius < self.initial_radius
+        ):
+            raise ValidationError(
+                f"max_radius ({self.max_radius}) must be >= initial_radius ({self.initial_radius})"
+            )
 
     @staticmethod
     def recommended_radius(num_particles: int, dim: int) -> float:
@@ -129,6 +154,11 @@ class GlowwormSwarmOptimizer:
         matrix; evaluated once per iteration for the whole swarm.
     initial_positions:
         Optional explicit start positions of shape ``(L, D)``.
+    movement:
+        ``"vectorized"`` (default) runs the whole-swarm array kernel;
+        ``"reference"`` runs the per-particle loop.  Both produce bit-identical
+        seeded trajectories; the reference implementation exists for the
+        equivalence tests and the before/after microbenchmarks.
     """
 
     def __init__(
@@ -141,9 +171,15 @@ class GlowwormSwarmOptimizer:
         selection_weight: Optional[Callable[[np.ndarray], float]] = None,
         batch_selection_weight: Optional[Callable[[np.ndarray], np.ndarray]] = None,
         initial_positions: Optional[np.ndarray] = None,
+        movement: str = "vectorized",
     ):
+        if movement not in ("vectorized", "reference"):
+            raise ValidationError(
+                f"movement must be 'vectorized' or 'reference', got {movement!r}"
+            )
         self.objective = objective
         self.batch_objective = batch_objective
+        self.movement = movement
         self.lower_bounds = check_array(lower_bounds, name="lower_bounds", ndim=1)
         self.upper_bounds = check_array(upper_bounds, name="upper_bounds", ndim=1)
         if self.lower_bounds.shape != self.upper_bounds.shape:
@@ -196,6 +232,209 @@ class GlowwormSwarmOptimizer:
             return np.clip(positions.copy(), self.lower_bounds, self.upper_bounds)
         return rng.uniform(self.lower_bounds, self.upper_bounds, size=(params.num_particles, self.dim))
 
+    # ------------------------------------------------------------------ movement phase
+    def _movement_phase(
+        self,
+        positions: np.ndarray,
+        luciferin: np.ndarray,
+        radii: np.ndarray,
+        fitness: np.ndarray,
+        rng: np.random.Generator,
+        step: float,
+        max_radius: float,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One movement + adaptive-radius phase (Eq. 7 / Eq. 8).
+
+        Returns the proposed (unclipped) positions and the updated decision
+        radii.  Dispatches to the vectorised kernel or the per-particle
+        reference loop; both consume the RNG stream identically, so seeded
+        trajectories do not depend on the implementation chosen.
+        """
+        selection_weights = self._selection_weights(positions)
+        if self.movement == "reference":
+            return self._move_reference(
+                positions, luciferin, radii, fitness, selection_weights, rng, step, max_radius
+            )
+        return self._move_vectorized(
+            positions, luciferin, radii, fitness, selection_weights, rng, step, max_radius
+        )
+
+    def _move_reference(
+        self,
+        positions: np.ndarray,
+        luciferin: np.ndarray,
+        radii: np.ndarray,
+        fitness: np.ndarray,
+        selection_weights: Optional[np.ndarray],
+        rng: np.random.Generator,
+        step: float,
+        max_radius: float,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-particle movement loop, kept as the equivalence/benchmark baseline.
+
+        This is a faithful port of the original (pre-vectorisation) loop with
+        one deliberate change: the selection-weight total is a sequential
+        ``cumsum`` rather than numpy's pairwise ``sum``, so that it matches
+        the row-wise cumulative sums of the vectorised kernel bit-for-bit.
+        The two totals can differ in the last ulp for particles with more
+        than ~8 neighbours, which would alter the original trajectory only if
+        a uniform draw fell within one rounding error of the perturbed CDF
+        boundary.
+        """
+        params = self.parameters
+        distances = np.linalg.norm(positions[:, None, :] - positions[None, :, :], axis=2)
+        radii = radii.copy()
+        new_positions = positions.copy()
+        for i in range(params.num_particles):
+            neighbour_mask = (distances[i] <= radii[i]) & (luciferin > luciferin[i])
+            neighbour_mask[i] = False
+            neighbours = np.flatnonzero(neighbour_mask)
+            if neighbours.size:
+                gaps = luciferin[neighbours] - luciferin[i]
+                weights = gaps.astype(np.float64)
+                if selection_weights is not None:
+                    weights = weights * selection_weights[neighbours]
+                # Sequential (cumsum) total so the normalisation matches the
+                # row-wise cumulative sums of the vectorised kernel bit-for-bit.
+                total = float(np.cumsum(weights)[-1])
+                if total <= 0:
+                    probabilities = np.full(neighbours.size, 1.0 / neighbours.size)
+                else:
+                    probabilities = weights / total
+                chosen = int(rng.choice(neighbours, p=probabilities))
+                direction = positions[chosen] - positions[i]
+                norm = np.linalg.norm(direction)
+                if norm > 1e-12:
+                    new_positions[i] = positions[i] + step * direction / norm
+            elif params.explore_when_isolated and not np.isfinite(fitness[i]):
+                # Isolated + infeasible: random walk so the particle keeps exploring.
+                direction = rng.normal(size=self.dim)
+                norm = np.linalg.norm(direction)
+                if norm > 1e-12:
+                    new_positions[i] = positions[i] + step * direction / norm
+            # Adaptive decision radius.
+            radii[i] = float(
+                np.clip(
+                    radii[i] + params.radius_gain * (params.desired_neighbours - neighbours.size),
+                    1e-6,
+                    max_radius,
+                )
+            )
+        return new_positions, radii
+
+    def _move_vectorized(
+        self,
+        positions: np.ndarray,
+        luciferin: np.ndarray,
+        radii: np.ndarray,
+        fitness: np.ndarray,
+        selection_weights: Optional[np.ndarray],
+        rng: np.random.Generator,
+        step: float,
+        max_radius: float,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Whole-swarm movement kernel.
+
+        Replaces the per-particle loop with one boolean neighbour matrix, a
+        row-wise inverse-CDF neighbour draw and batched step updates.  The RNG
+        stream and every floating-point decision match ``_move_reference``
+        (see the module docstring), which the equivalence tests assert.
+        """
+        params = self.parameters
+        num_particles = params.num_particles
+        new_positions = positions.copy()
+
+        # Pairwise squared distances via one BLAS Gram matrix instead of the
+        # O(L * L * d) broadcast the reference loop pays; ``d <= r`` becomes
+        # ``d^2 <= r^2``, which flips a neighbour decision only if a distance
+        # sits within one rounding error of the radius.
+        squared_norms = np.einsum("ij,ij->i", positions, positions)
+        squared_distances = squared_norms[:, None] + squared_norms[None, :]
+        squared_distances -= 2.0 * (positions @ positions.T)
+        np.maximum(squared_distances, 0.0, out=squared_distances)
+
+        # Neighbour matrix: j is a neighbour of i iff it is inside i's decision
+        # radius and strictly brighter.  The diagonal is excluded by the strict
+        # luciferin comparison but cleared explicitly for clarity.
+        neighbour_mask = (squared_distances <= (radii * radii)[:, None]) & (
+            luciferin[None, :] > luciferin[:, None]
+        )
+        np.fill_diagonal(neighbour_mask, False)
+        counts = neighbour_mask.sum(axis=1)
+        has_neighbours = counts > 0
+        movers = np.flatnonzero(has_neighbours)
+        if params.explore_when_isolated:
+            explore_mask = ~has_neighbours & ~np.isfinite(fitness)
+        else:
+            explore_mask = np.zeros(num_particles, dtype=bool)
+
+        # RNG draws, in particle-index order exactly as the reference loop
+        # makes them: one uniform per mover (what ``rng.choice`` consumes), one
+        # d-dimensional normal per isolated infeasible particle.  Vector draws
+        # consume the bit stream exactly like the equivalent sequence of
+        # scalar draws, so each *run* of consecutive same-kind particles can
+        # be drawn in one call; only the boundaries between kinds matter.
+        uniforms = np.zeros(num_particles)
+        random_directions: Optional[np.ndarray] = None
+        if explore_mask.any():
+            random_directions = np.zeros((num_particles, self.dim))
+            active = np.flatnonzero(has_neighbours | explore_mask)
+            kinds = has_neighbours[active]
+            run_starts = np.flatnonzero(np.diff(kinds)) + 1
+            for run in np.split(active, run_starts):
+                if has_neighbours[run[0]]:
+                    uniforms[run] = rng.random(run.size)
+                else:
+                    random_directions[run] = rng.normal(size=(run.size, self.dim))
+        elif movers.size:
+            uniforms[movers] = rng.random(movers.size)
+
+        if movers.size:
+            mask = neighbour_mask[movers]
+            # Luciferin gaps to every brighter neighbour; zero elsewhere so the
+            # cumulative sums below reproduce the compacted per-particle sums.
+            gaps = np.where(mask, luciferin[None, :] - luciferin[movers][:, None], 0.0)
+            if selection_weights is not None:
+                gaps = gaps * np.where(mask, selection_weights[None, :], 0.0)
+            totals = np.cumsum(gaps, axis=1)[:, -1]
+            probabilities = gaps / np.where(totals > 0, totals, 1.0)[:, None]
+            degenerate = totals <= 0
+            if degenerate.any():
+                probabilities[degenerate] = mask[degenerate] / counts[movers][degenerate][:, None]
+            # Row-wise inverse-CDF draw: identical to rng.choice's internal
+            # cumsum + renormalise + searchsorted(side="right").
+            cdf = np.cumsum(probabilities, axis=1)
+            cdf /= cdf[:, -1:]
+            chosen = np.sum(cdf <= uniforms[movers, None], axis=1)
+
+            directions = positions[chosen] - positions[movers]
+            # Batched matmul hits the same BLAS dot kernel as np.linalg.norm
+            # on a single vector, keeping the norms bit-identical.
+            norms = np.sqrt((directions[:, None, :] @ directions[:, :, None])[:, 0, 0])
+            moving = norms > 1e-12
+            if moving.any():
+                rows = movers[moving]
+                new_positions[rows] = (
+                    positions[rows] + step * directions[moving] / norms[moving][:, None]
+                )
+
+        if random_directions is not None:
+            explorers = np.flatnonzero(explore_mask)
+            directions = random_directions[explorers]
+            norms = np.sqrt((directions[:, None, :] @ directions[:, :, None])[:, 0, 0])
+            moving = norms > 1e-12
+            if moving.any():
+                rows = explorers[moving]
+                new_positions[rows] = (
+                    positions[rows] + step * directions[moving] / norms[moving][:, None]
+                )
+
+        # Adaptive decision radius (vectorised Eq. 7 radius update).
+        radii = np.clip(
+            radii + params.radius_gain * (params.desired_neighbours - counts), 1e-6, max_radius
+        )
+        return new_positions, radii
+
     # ------------------------------------------------------------------ main loop
     def run(self) -> OptimizationResult:
         """Execute the swarm and return the final particle population."""
@@ -235,43 +474,9 @@ class GlowwormSwarmOptimizer:
             luciferin[finite] += params.luciferin_gain * fitness[finite]
 
             # Phase 2 — movement towards brighter neighbours (Eq. 7 / Eq. 8).
-            new_positions = positions.copy()
-            distances = np.linalg.norm(positions[:, None, :] - positions[None, :, :], axis=2)
-            selection_weights = self._selection_weights(positions)
-            for i in range(params.num_particles):
-                neighbour_mask = (distances[i] <= radii[i]) & (luciferin > luciferin[i])
-                neighbour_mask[i] = False
-                neighbours = np.flatnonzero(neighbour_mask)
-                if neighbours.size:
-                    gaps = luciferin[neighbours] - luciferin[i]
-                    weights = gaps.astype(np.float64)
-                    if selection_weights is not None:
-                        weights = weights * selection_weights[neighbours]
-                    total = weights.sum()
-                    if total <= 0:
-                        probabilities = np.full(neighbours.size, 1.0 / neighbours.size)
-                    else:
-                        probabilities = weights / total
-                    chosen = int(rng.choice(neighbours, p=probabilities))
-                    direction = positions[chosen] - positions[i]
-                    norm = np.linalg.norm(direction)
-                    if norm > 1e-12:
-                        new_positions[i] = positions[i] + step * direction / norm
-                elif params.explore_when_isolated and not np.isfinite(fitness[i]):
-                    # Isolated + infeasible: random walk so the particle keeps exploring.
-                    direction = rng.normal(size=self.dim)
-                    norm = np.linalg.norm(direction)
-                    if norm > 1e-12:
-                        new_positions[i] = positions[i] + step * direction / norm
-                # Adaptive decision radius.
-                radii[i] = float(
-                    np.clip(
-                        radii[i] + params.radius_gain * (params.desired_neighbours - neighbours.size),
-                        1e-6,
-                        max_radius,
-                    )
-                )
-
+            new_positions, radii = self._movement_phase(
+                positions, luciferin, radii, fitness, rng, step, max_radius
+            )
             positions = np.clip(new_positions, self.lower_bounds, self.upper_bounds)
             fitness = self._evaluate_all(positions)
 

@@ -42,7 +42,24 @@ class PSOParameters:
 
 
 class ParticleSwarmOptimizer:
-    """Maximises a fitness function over a box-bounded space with global-best PSO."""
+    """Maximises a fitness function over a box-bounded space with global-best PSO.
+
+    Parameters
+    ----------
+    objective:
+        Callable mapping a solution vector (shape ``(D,)``) to a scalar fitness.
+        ``-inf`` / ``nan`` mark infeasible solutions.
+    lower_bounds / upper_bounds:
+        Box constraints of the solution space (positions are clipped to stay inside).
+    parameters:
+        :class:`PSOParameters`; defaults are created if omitted.
+    batch_objective:
+        Optional vectorised fitness over a ``(L, D)`` matrix returning ``(L,)``
+        values.  Used in preference to ``objective`` for the per-iteration
+        swarm evaluation; the velocity/position updates were already
+        whole-swarm array operations, so with a batch objective no per-particle
+        Python work remains in the loop.
+    """
 
     def __init__(
         self,
@@ -50,8 +67,10 @@ class ParticleSwarmOptimizer:
         lower_bounds: Sequence[float],
         upper_bounds: Sequence[float],
         parameters: Optional[PSOParameters] = None,
+        batch_objective: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     ):
         self.objective = objective
+        self.batch_objective = batch_objective
         self.lower_bounds = check_array(lower_bounds, name="lower_bounds", ndim=1)
         self.upper_bounds = check_array(upper_bounds, name="upper_bounds", ndim=1)
         if self.lower_bounds.shape != self.upper_bounds.shape:
@@ -69,6 +88,13 @@ class ParticleSwarmOptimizer:
             return -np.inf
         return float(value)
 
+    def _evaluate_all(self, positions: np.ndarray) -> np.ndarray:
+        if self.batch_objective is not None:
+            self._evaluations += positions.shape[0]
+            values = np.asarray(self.batch_objective(positions), dtype=np.float64)
+            return np.where(np.isnan(values), -np.inf, values)
+        return np.asarray([self._evaluate(position) for position in positions])
+
     def run(self) -> OptimizationResult:
         """Execute the swarm and return the final population (global best is ``result.best()``)."""
         params = self.parameters
@@ -80,7 +106,7 @@ class ParticleSwarmOptimizer:
         initial_positions = positions.copy()
         velocities = rng.uniform(-0.1, 0.1, size=positions.shape) * extent
 
-        fitness = np.asarray([self._evaluate(p) for p in positions])
+        fitness = self._evaluate_all(positions)
         personal_best = positions.copy()
         personal_best_fitness = fitness.copy()
         global_idx = int(np.argmax(np.where(np.isfinite(fitness), fitness, -np.inf)))
@@ -105,7 +131,7 @@ class ParticleSwarmOptimizer:
                 + params.social * r2 * (global_best - positions)
             )
             positions = np.clip(positions + velocities, self.lower_bounds, self.upper_bounds)
-            fitness = np.asarray([self._evaluate(p) for p in positions])
+            fitness = self._evaluate_all(positions)
 
             improved = fitness > personal_best_fitness
             personal_best[improved] = positions[improved]

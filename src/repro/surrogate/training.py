@@ -116,6 +116,32 @@ class SurrogateTrainer:
 
         self.last_report_: Optional[TrainingReport] = None
 
+    def train_from_engine(
+        self,
+        engine,
+        num_evaluations: int,
+        min_fraction: float = 0.01,
+        max_fraction: float = 0.5,
+        random_state=None,
+    ) -> SurrogateModel:
+        """Generate a workload against ``engine`` and train on it in one step.
+
+        Workload generation goes through the engine's batched evaluation path
+        (:meth:`repro.data.engine.DataEngine.evaluate_batch`), so producing the
+        training set costs one broadcast over the data instead of
+        ``num_evaluations`` scalar scans.
+        """
+        from repro.surrogate.workload import generate_workload
+
+        workload = generate_workload(
+            engine,
+            num_evaluations,
+            min_fraction=min_fraction,
+            max_fraction=max_fraction,
+            random_state=random_state if random_state is not None else self.random_state,
+        )
+        return self.train(workload)
+
     def train(self, workload: RegionWorkload) -> SurrogateModel:
         """Train a surrogate on ``workload`` and record a :class:`TrainingReport`."""
         features = workload.features

@@ -45,6 +45,8 @@ class RegionWorkload:
             raise ValidationError(f"all evaluations must share a dimensionality, got {sorted(dims)}")
         self._evaluations = evaluations
         self._dim = dims.pop()
+        self._features: Optional[np.ndarray] = None
+        self._targets: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ container protocol
     def __len__(self) -> int:
@@ -64,13 +66,24 @@ class RegionWorkload:
 
     @property
     def features(self) -> np.ndarray:
-        """Feature matrix of shape ``(M, 2d)`` — one ``[x, l]`` vector per evaluation."""
-        return np.stack([evaluation.vector for evaluation in self._evaluations])
+        """Feature matrix of shape ``(M, 2d)`` — one ``[x, l]`` vector per evaluation.
+
+        Built once and cached; training code can access it repeatedly without
+        paying the per-region stacking cost again.
+        """
+        if self._features is None:
+            self._features = np.stack([evaluation.vector for evaluation in self._evaluations])
+        return self._features
 
     @property
     def targets(self) -> np.ndarray:
-        """Target vector of shape ``(M,)`` — the statistic each evaluation returned."""
-        return np.asarray([evaluation.value for evaluation in self._evaluations])
+        """Target vector of shape ``(M,)`` — the statistic each evaluation returned.
+
+        Built once and cached, like :attr:`features`.
+        """
+        if self._targets is None:
+            self._targets = np.asarray([evaluation.value for evaluation in self._evaluations])
+        return self._targets
 
     @property
     def regions(self) -> List[Region]:
@@ -129,11 +142,16 @@ def generate_workload(
         raise ValidationError(f"num_evaluations must be >= 1, got {num_evaluations}")
     rng = ensure_rng(random_state)
     bounds = engine.region_bounds()
-    evaluations = []
-    for _ in range(int(num_evaluations)):
-        region = random_region(rng, bounds, min_fraction, max_fraction)
-        evaluations.append(RegionEvaluation(region, engine.evaluate(region)))
-    return RegionWorkload(evaluations)
+    # Draw every region first (identical RNG order to evaluating one by one),
+    # then evaluate the whole batch against the engine in one call instead of
+    # paying per-region Python overhead M times.
+    regions = [
+        random_region(rng, bounds, min_fraction, max_fraction) for _ in range(int(num_evaluations))
+    ]
+    values = engine.evaluate_many(regions)
+    return RegionWorkload(
+        [RegionEvaluation(region, float(value)) for region, value in zip(regions, values)]
+    )
 
 
 def recommended_workload_size(region_dim: int) -> int:

@@ -46,6 +46,23 @@ class TestGSOParameters:
         with pytest.raises(ValidationError):
             GSOParameters(num_iterations=0)
 
+    def test_radius_validation(self):
+        with pytest.raises(ValidationError):
+            GSOParameters(initial_radius=0.0)
+        with pytest.raises(ValidationError):
+            GSOParameters(initial_radius=-0.5)
+        with pytest.raises(ValidationError):
+            GSOParameters(max_radius=0.0)
+        with pytest.raises(ValidationError):
+            GSOParameters(max_radius=-1.0)
+        with pytest.raises(ValidationError):
+            GSOParameters(initial_radius=0.5, max_radius=0.4)
+        # Valid combinations still pass.
+        GSOParameters(initial_radius=0.5, max_radius=0.5)
+        GSOParameters(initial_radius=0.2, max_radius=1.0)
+        GSOParameters(initial_radius=0.2)
+        GSOParameters(max_radius=1.0)
+
     def test_recommended_radius_shrinks_with_dimension(self):
         radius_low = GSOParameters.recommended_radius(100, 2)
         radius_high = GSOParameters.recommended_radius(100, 10)

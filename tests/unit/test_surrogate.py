@@ -128,6 +128,22 @@ class TestSurrogateTrainer:
         with pytest.raises(ValidationError):
             SurrogateTrainer(holdout_fraction=1.0)
 
+    def test_train_from_engine_matches_manual_pipeline(self, density_engine, fast_trainer):
+        from repro.ml.base import clone
+        from repro.surrogate.workload import generate_workload
+
+        trainer = SurrogateTrainer(estimator=clone(fast_trainer.estimator), random_state=0)
+        surrogate = trainer.train_from_engine(density_engine, num_evaluations=200, random_state=1)
+        report = trainer.last_report_
+        assert report is not None
+
+        # Same seed, same protocol: identical to generate_workload + train.
+        manual_trainer = SurrogateTrainer(estimator=clone(fast_trainer.estimator), random_state=0)
+        workload = generate_workload(density_engine, 200, random_state=1)
+        manual = manual_trainer.train(workload)
+        probe = workload.features[:16]
+        np.testing.assert_array_equal(surrogate.predict(probe), manual.predict(probe))
+
     def test_alternative_estimator_family(self, density_workload):
         trainer = SurrogateTrainer(estimator=KNeighborsRegressor(n_neighbors=5), random_state=0)
         surrogate = trainer.train(density_workload)
