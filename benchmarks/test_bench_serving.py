@@ -1,0 +1,152 @@
+"""Serving-layer benchmarks: cold / cached / rejected latency and batch throughput.
+
+Table I of the paper shows SuRF's query time is flat in the dataset size; this
+suite extends that story to the serving layer built on top of the finder:
+
+* **cold** — a fresh threshold pays one full GSO run against the surrogate;
+* **cached** — a repeated threshold is answered from the service's LRU cache
+  without invoking the optimiser;
+* **rejected** — a threshold no past evaluation ever satisfied is refused via
+  the Eq. 5 satisfiability gate in ``O(log W)``;
+* **batch throughput** — ``find_regions_batch`` over a burst of concurrent
+  queries (repeated thresholds, as heavy analyst traffic produces) must beat
+  sequential ``find_regions`` calls by the acceptance floor (>= 2x by default;
+  ``REPRO_SERVING_SPEEDUP_FLOOR`` relaxes it on noisy shared CI runners).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.finder import SuRF
+from repro.core.query import RegionQuery
+from repro.data.engine import DataEngine
+from repro.data.synthetic import make_synthetic_dataset
+from repro.optim.gso import GSOParameters
+from repro.serve.service import SuRFService
+from repro.surrogate.training import SurrogateTrainer
+from repro.surrogate.workload import generate_workload
+from repro.ml.boosting import GradientBoostingRegressor
+
+#: Concurrent queries in the throughput benchmark (the ISSUE floor is >= 8).
+BATCH_QUERIES = 16
+#: Distinct thresholds inside the burst; the rest are repeats to coalesce.
+DISTINCT_QUERIES = 4
+
+
+def _serving_speedup_floor() -> float:
+    """Required batch-over-sequential speedup (default 2x, the acceptance floor)."""
+    return float(os.environ.get("REPRO_SERVING_SPEEDUP_FLOOR", "2.0"))
+
+
+@pytest.fixture(scope="module")
+def serving_finder():
+    """A fitted finder over a small 2-D density dataset, swarm sized for speed."""
+    synthetic = make_synthetic_dataset(
+        statistic="density", dim=2, num_regions=2, num_points=5_000, random_state=9
+    )
+    engine = DataEngine(synthetic.dataset, synthetic.statistic)
+    workload = generate_workload(engine, 1_000, random_state=0)
+    finder = SuRF(
+        trainer=SurrogateTrainer(
+            estimator=GradientBoostingRegressor(n_estimators=60, max_depth=4, random_state=0),
+            random_state=0,
+        ),
+        gso_parameters=GSOParameters(num_particles=40, num_iterations=25, random_state=0),
+        random_state=0,
+    )
+    sample = engine.dataset.sample(600, random_state=0).select_columns(engine.region_columns).values
+    finder.fit(workload, data_sample=sample)
+    return finder
+
+
+@pytest.fixture(scope="module")
+def serving_queries(serving_finder):
+    """One satisfiable query, its repeats, and one hopeless threshold."""
+    model = serving_finder.satisfiability_
+    satisfiable = RegionQuery(threshold=model.quantile(0.75), direction="above")
+    hopeless = RegionQuery(threshold=model.quantile(1.0) * 10.0, direction="above")
+    return satisfiable, hopeless
+
+
+def test_bench_serving_cold_query(benchmark, serving_finder, serving_queries):
+    """Latency of a never-seen threshold: one full GSO run."""
+    satisfiable, _ = serving_queries
+    service = SuRFService(serving_finder)
+
+    def cold():
+        service.clear_cache()
+        return service.find_regions(satisfiable)
+
+    response = benchmark.pedantic(cold, rounds=3, iterations=1)
+    assert response.status == "served"
+    assert response.proposals
+
+
+def test_bench_serving_cached_query(benchmark, serving_finder, serving_queries):
+    """Latency of a repeated threshold: answered from the LRU cache."""
+    satisfiable, _ = serving_queries
+    service = SuRFService(serving_finder)
+    service.find_regions(satisfiable)  # warm the cache
+
+    response = benchmark(service.find_regions, satisfiable)
+    assert response.status == "cached"
+    assert service.stats.gso_runs == 1
+
+
+def test_bench_serving_rejected_query(benchmark, serving_finder, serving_queries):
+    """Latency of a hopeless threshold: Eq. 5 rejection, no optimiser run."""
+    _, hopeless = serving_queries
+    service = SuRFService(serving_finder)
+
+    response = benchmark(service.find_regions, hopeless)
+    assert response.status == "rejected"
+    assert service.stats.gso_runs == 0
+
+
+def test_serving_batch_throughput_beats_sequential(serving_finder, serving_queries):
+    """find_regions_batch >= 2x sequential find_regions on a 16-query burst.
+
+    The burst repeats {DISTINCT_QUERIES} thresholds across {BATCH_QUERIES}
+    queries — the traffic shape result caching and request coalescing exist
+    for.  The sequential baseline pays one GSO run per query; the batch path
+    runs each distinct query once (on a thread pool) and shares the results.
+    """
+    model = serving_finder.satisfiability_
+    templates = [
+        RegionQuery(threshold=model.quantile(q), direction="above")
+        for q in np.linspace(0.70, 0.85, DISTINCT_QUERIES)
+    ]
+    burst = [templates[i % DISTINCT_QUERIES] for i in range(BATCH_QUERIES)]
+
+    start = time.perf_counter()
+    sequential = [serving_finder.find_regions(query) for query in burst]
+    sequential_seconds = time.perf_counter() - start
+
+    service = SuRFService(serving_finder)
+    start = time.perf_counter()
+    batched = service.find_regions_batch(burst)
+    batch_seconds = time.perf_counter() - start
+
+    # Same answers, query for query, before any throughput claim.
+    for before, after in zip(sequential, batched):
+        assert after.status == "served"
+        assert len(before.proposals) == len(after.proposals)
+        for lhs, rhs in zip(before.proposals, after.proposals):
+            assert np.array_equal(lhs.region.to_vector(), rhs.region.to_vector())
+            assert lhs.objective_value == rhs.objective_value
+
+    stats = service.stats
+    assert stats.gso_runs == DISTINCT_QUERIES
+    assert stats.coalesced == BATCH_QUERIES - DISTINCT_QUERIES
+
+    speedup = sequential_seconds / batch_seconds
+    print(
+        f"\nserving burst of {BATCH_QUERIES} queries ({DISTINCT_QUERIES} distinct): "
+        f"sequential {sequential_seconds:.2f}s ({BATCH_QUERIES / sequential_seconds:.1f} q/s), "
+        f"batch {batch_seconds:.2f}s ({BATCH_QUERIES / batch_seconds:.1f} q/s), "
+        f"speedup {speedup:.1f}x"
+    )
+    assert speedup >= _serving_speedup_floor()

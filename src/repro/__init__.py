@@ -4,6 +4,8 @@ The public API re-exports the pieces most users need:
 
 * :class:`repro.SuRF` — the surrogate-model + glowworm-swarm region finder,
 * :class:`repro.RegionQuery` / :class:`repro.Region` — queries and results,
+* :class:`repro.SuRFService` — the serving front-end (artifact bundles,
+  Eq. 5 satisfiability gating, LRU caching, batched multi-query execution),
 * the data substrate (:mod:`repro.data`), surrogate layer
   (:mod:`repro.surrogate`), baselines (:mod:`repro.baselines`) and the
   experiment runners reproducing each table/figure (:mod:`repro.experiments`).
@@ -26,9 +28,11 @@ from repro.core.finder import RegionSearchResult, SuRF
 from repro.core.objective import LogObjective, RatioObjective
 from repro.core.postprocess import RegionProposal
 from repro.core.query import RegionQuery, SolutionSpace
+from repro.core.satisfiability import SatisfiabilityModel
 from repro.data.dataset import Dataset
 from repro.data.engine import DataEngine
 from repro.data.regions import Region
+from repro.serve.service import ServiceResponse, ServiceStats, SuRFService
 from repro.surrogate.training import SurrogateTrainer
 from repro.surrogate.workload import RegionWorkload, generate_workload
 
@@ -39,6 +43,7 @@ __all__ = [
     "RegionSearchResult",
     "RegionQuery",
     "SolutionSpace",
+    "SatisfiabilityModel",
     "RegionProposal",
     "Region",
     "Dataset",
@@ -46,6 +51,9 @@ __all__ = [
     "RegionWorkload",
     "generate_workload",
     "SurrogateTrainer",
+    "SuRFService",
+    "ServiceResponse",
+    "ServiceStats",
     "LogObjective",
     "RatioObjective",
     "average_iou",

@@ -5,12 +5,14 @@ from repro.core.finder import RegionSearchResult, SuRF
 from repro.core.objective import LogObjective, RatioObjective, make_objective
 from repro.core.postprocess import RegionProposal, proposals_from_result
 from repro.core.query import RegionQuery, SolutionSpace
+from repro.core.satisfiability import SatisfiabilityModel
 
 __all__ = [
     "SuRF",
     "RegionSearchResult",
     "RegionQuery",
     "SolutionSpace",
+    "SatisfiabilityModel",
     "LogObjective",
     "RatioObjective",
     "make_objective",

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
@@ -24,6 +25,7 @@ import numpy as np
 from repro.core.objective import ObjectiveKind, RegionObjective, make_objective
 from repro.core.postprocess import RegionProposal, proposals_from_result
 from repro.core.query import RegionQuery, SolutionSpace
+from repro.core.satisfiability import SatisfiabilityModel
 from repro.data.engine import DataEngine
 from repro.density.region_mass import RegionMassEstimator
 from repro.exceptions import NotFittedError, ValidationError
@@ -132,6 +134,7 @@ class SuRF:
         self.surrogate_: Optional[SurrogateModel] = None
         self.solution_space_: Optional[SolutionSpace] = None
         self.density_: Optional[RegionMassEstimator] = None
+        self.satisfiability_: Optional[SatisfiabilityModel] = None
         self.workload_features_: Optional[np.ndarray] = None
         self.workload_size_: int = 0
 
@@ -153,6 +156,7 @@ class SuRF:
             min_half_fraction=self.min_half_fraction,
             max_half_fraction=self.max_half_fraction,
         )
+        self.satisfiability_ = SatisfiabilityModel.from_workload(workload)
         self.workload_features_ = workload.features
         self.workload_size_ = len(workload)
         self.density_ = None
@@ -290,7 +294,7 @@ class SuRF:
         feasible = np.flatnonzero(np.isfinite(scores))
         if feasible.size == 0:
             return None
-        rng = np.random.default_rng(self.random_state)
+        rng = self._warm_start_rng()
         # Sample uniformly among feasible past evaluations so every discovered mode
         # is represented, rather than biasing all seeds towards the single best one.
         chosen = rng.choice(feasible, size=min(num_seeded, feasible.size), replace=False)
@@ -301,8 +305,62 @@ class SuRF:
         positions[: seeds.shape[0]] = np.clip(seeds, lower, upper)
         return positions
 
+    def _warm_start_rng(self) -> np.random.Generator:
+        """An RNG stream for warm-start sampling, independent of the optimiser's.
+
+        The optimiser seeds its own stream with ``default_rng(random_state)``;
+        seeding warm starts with the same integer would make both consume
+        correlated draws, so this spawns a child of the seed sequence instead —
+        still deterministic for a fixed seed, but statistically independent of
+        the swarm's movement stream.  A caller-supplied ``Generator`` (see
+        :func:`repro.utils.rng.ensure_rng`) is a single live stream shared with
+        the optimiser; drawing from it directly cannot replay any draws, so it
+        is returned unchanged.
+        """
+        if isinstance(self.random_state, np.random.Generator):
+            return self.random_state
+        return np.random.default_rng(np.random.SeedSequence(self.random_state).spawn(1)[0])
+
     # ------------------------------------------------------------------ introspection
     def predict_statistic(self, region) -> float:
         """Surrogate prediction of the statistic for a region (no data access)."""
         self._check_fitted()
         return self.surrogate_.predict_region(region)
+
+    def satisfiability(self, query: RegionQuery) -> float:
+        """Eq. 5: probability that ``query`` is satisfiable at all.
+
+        Estimated from the empirical CDF of the statistic over the training
+        workload — an ``O(log W)`` binary search, no data access and no swarm
+        run.  A serving layer uses this to reject hopeless thresholds before
+        spending a full GSO run on them.
+        """
+        self._check_fitted()
+        if self.satisfiability_ is None:
+            raise NotFittedError("this SuRF was fitted without a satisfiability model")
+        return self.satisfiability_.probability(query)
+
+    # ------------------------------------------------------------------ persistence
+    def save(self, path) -> Path:
+        """Serialise the whole fitted finder to a single on-disk artifact bundle.
+
+        The bundle carries the surrogate, solution space, density model,
+        satisfiability model, workload features and every constructor setting,
+        so :meth:`load` reconstructs a finder whose seeded queries are
+        bit-identical to the original's.  See
+        :func:`repro.surrogate.persistence.save_bundle`.
+        """
+        from repro.surrogate.persistence import save_bundle
+
+        return save_bundle(self, path)
+
+    @classmethod
+    def load(cls, path) -> "SuRF":
+        """Load a fitted finder from a bundle written by :meth:`save`.
+
+        Called on a subclass, reconstructs that subclass (it must accept the
+        same constructor arguments).
+        """
+        from repro.surrogate.persistence import load_bundle
+
+        return load_bundle(path, finder_cls=cls)

@@ -154,10 +154,16 @@ class RatioObjective(RegionObjective):
     def evaluate_batch(self, vectors: np.ndarray) -> np.ndarray:
         _, half_lengths = self._split_batch(vectors)
         margins = self._margins_batch(vectors)
-        volume_term = np.prod(half_lengths, axis=1) ** self.query.size_penalty
-        valid = np.all(half_lengths > 0, axis=1) & (volume_term > 0)
         values = np.full(margins.shape[0], -np.inf)
-        values[valid] = margins[valid] / volume_term[valid]
+        positive = np.all(half_lengths > 0, axis=1)
+        if np.any(positive):
+            # Exponentiate only rows with positive half lengths, matching the
+            # scalar path's check-first order; a negative product under a
+            # fractional ``size_penalty`` is NaN and warns.
+            volume_term = np.prod(half_lengths[positive], axis=1) ** self.query.size_penalty
+            valid = volume_term > 0
+            rows = np.flatnonzero(positive)[valid]
+            values[rows] = margins[rows] / volume_term[valid]
         return values
 
 

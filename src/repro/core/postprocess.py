@@ -94,7 +94,6 @@ def proposals_from_result(
     order = np.argsort(fitness)[::-1]
 
     seed_regions: List[Region] = []
-    seed_fitness: List[float] = []
     members: List[List[int]] = []
     for index in order:
         region = Region.from_vector(positions[index])
@@ -106,11 +105,12 @@ def proposals_from_result(
                 break
         if not merged:
             seed_regions.append(region)
-            seed_fitness.append(float(fitness[index]))
             members.append([int(index)])
 
-    proposals: List[RegionProposal] = []
-    for cluster_index, indices in enumerate(members):
+    representative_vectors: List[np.ndarray] = []
+    representative_predictions: List[float] = []
+    supports: List[int] = []
+    for indices in members:
         if len(indices) < min_support:
             continue
         cluster_vectors = positions[indices]
@@ -120,14 +120,28 @@ def proposals_from_result(
             predictions = np.asarray([float(predictor(vector)) for vector in cluster_vectors])
         margins = np.asarray([objective.query.margin(value) for value in predictions])
         best = int(np.argmax(margins))
-        proposals.append(
-            RegionProposal(
-                region=Region.from_vector(cluster_vectors[best]),
-                predicted_value=float(predictions[best]),
-                objective_value=seed_fitness[cluster_index],
-                support=len(indices),
-            )
+        representative_vectors.append(cluster_vectors[best])
+        representative_predictions.append(float(predictions[best]))
+        supports.append(len(indices))
+    if not representative_vectors:
+        return []
+
+    # The cluster seed (highest-fitness member) and the max-margin representative
+    # are generally *different* particles, so the representative's objective is
+    # re-evaluated — one batch call over all representatives — to keep
+    # ``objective_value`` consistent with ``region``/``predicted_value``.
+    representative_objectives = objective.evaluate_batch(np.stack(representative_vectors))
+    proposals = [
+        RegionProposal(
+            region=Region.from_vector(vector),
+            predicted_value=prediction,
+            objective_value=float(value),
+            support=support,
         )
+        for vector, prediction, value, support in zip(
+            representative_vectors, representative_predictions, representative_objectives, supports
+        )
+    ]
     proposals.sort(key=lambda proposal: proposal.objective_value, reverse=True)
     if max_proposals is not None:
         proposals = proposals[: int(max_proposals)]

@@ -138,6 +138,10 @@ class SolutionSpace:
         features = np.asarray(features, dtype=np.float64)
         if features.ndim != 2 or features.shape[1] % 2 != 0:
             raise ValidationError("features must be a (n, 2d) array of [x, l] vectors")
+        if features.shape[0] < 1:
+            raise ValidationError(
+                "features must contain at least one evaluation to infer the solution space"
+            )
         dim = features.shape[1] // 2
         centers = features[:, :dim]
         halves = features[:, dim:]

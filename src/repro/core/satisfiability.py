@@ -1,0 +1,107 @@
+"""Satisfiability of a threshold query — Eq. 5 of the paper.
+
+The paper reasons about whether a request "statistic above/below ``y_R``" is
+*satisfiable at all* before any optimisation is attempted: using the empirical
+CDF ``F_Y`` of the statistic over past region evaluations, the probability
+that a uniformly drawn region satisfies ``y >= y_R`` is ``1 - F_Y(y_R)`` (and
+``F_Y(y_R)`` for the ``below`` direction).  The Crimes case study uses exactly
+this distribution to pick its Q3 threshold.
+
+:class:`SatisfiabilityModel` packages that CDF as a fitted object.  It is
+built once from the workload's targets (the same past evaluations the
+surrogate trains on — no extra data access) and answers each probe with one
+binary search over the sorted sample, i.e. ``O(log W)`` per query instead of
+the full GSO run a hopeless threshold would otherwise burn.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.query import Direction, RegionQuery
+from repro.exceptions import NotFittedError, ValidationError
+
+
+class SatisfiabilityModel:
+    """Empirical-CDF model of the statistic over past evaluations (Eq. 5).
+
+    Fit it on the workload's target values; ``probability(query)`` then
+    estimates the fraction of past-evaluation regions that satisfy the query's
+    constraint — a direct estimate of how satisfiable the request is.  A
+    serving layer can reject queries whose probability is (near) zero without
+    running the optimiser at all.
+    """
+
+    def __init__(self):
+        self._sorted: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ fitting
+    def fit(self, values) -> "SatisfiabilityModel":
+        """Fit the empirical CDF on a sample of statistic values.
+
+        Non-finite values (an engine may report NaN for degenerate probes) are
+        dropped; at least one finite value is required.
+        """
+        values = np.asarray(values, dtype=np.float64).ravel()
+        values = values[np.isfinite(values)]
+        if values.size == 0:
+            raise ValidationError(
+                "SatisfiabilityModel requires at least one finite statistic value"
+            )
+        self._sorted = np.sort(values)
+        return self
+
+    @classmethod
+    def from_workload(cls, workload) -> "SatisfiabilityModel":
+        """Fit directly on a :class:`~repro.surrogate.workload.RegionWorkload`."""
+        return cls().fit(workload.targets)
+
+    def _check_fitted(self) -> None:
+        if self._sorted is None:
+            raise NotFittedError("SatisfiabilityModel must be fitted before use")
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def num_samples(self) -> int:
+        """Number of past evaluations backing the CDF (``W``)."""
+        self._check_fitted()
+        return int(self._sorted.size)
+
+    def cdf(self, value: float) -> float:
+        """Empirical CDF ``F_Y(value) = P[Y <= value]`` — one ``O(log W)`` search."""
+        self._check_fitted()
+        return float(np.searchsorted(self._sorted, value, side="right")) / self._sorted.size
+
+    def probability(self, query: RegionQuery) -> float:
+        """Eq. 5: probability that ``query``'s constraint is satisfiable.
+
+        ``P[Y > y_R] = 1 - F_Y(y_R)`` for an ``above`` query; ``P[Y < y_R]``
+        (strict, matching :meth:`RegionQuery.satisfied_by`) for ``below``.
+        """
+        self._check_fitted()
+        if query.direction == "above":
+            return 1.0 - self.cdf(query.threshold)
+        below = float(np.searchsorted(self._sorted, query.threshold, side="left"))
+        return below / self._sorted.size
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile of the statistic sample (used to pick thresholds)."""
+        self._check_fitted()
+        if not 0.0 <= q <= 1.0:
+            raise ValidationError(f"q must be in [0, 1], got {q}")
+        return float(np.quantile(self._sorted, q))
+
+    def satisfiable_threshold(self, probability: float, direction: Direction = "above") -> float:
+        """A threshold whose Eq. 5 satisfiability is approximately ``probability``.
+
+        Convenience inverse used by examples and benchmarks: for ``above``
+        queries this is the ``1 - probability`` quantile of the statistic, for
+        ``below`` queries the ``probability`` quantile.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValidationError(f"probability must be in [0, 1], got {probability}")
+        if direction == "above":
+            return self.quantile(1.0 - probability)
+        return self.quantile(probability)

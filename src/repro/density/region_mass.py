@@ -24,6 +24,10 @@ EstimatorKind = Literal["kde", "histogram"]
 class RegionMassEstimator:
     """Estimates ``∫_{x-l}^{x+l} p_A(a) da`` for candidate regions.
 
+    After ``fit``, every query method is read-only; the serving layer
+    (:mod:`repro.serve`) relies on this to share one fitted estimator across
+    concurrently executing GSO runs without locking.
+
     Parameters
     ----------
     method:

@@ -1,0 +1,16 @@
+"""Query-serving layer: artifact bundles in, high-throughput region mining out.
+
+``repro.serve`` is the deployment face of the library: a fitted
+:class:`~repro.core.finder.SuRF` is saved once to an artifact bundle
+(``SuRF.save``), shipped to the serving host, and wrapped in a
+:class:`SuRFService` that answers analyst queries with Eq. 5 satisfiability
+gating, LRU result caching and coalesced multi-query batches.
+"""
+
+from repro.serve.service import ServiceResponse, ServiceStats, SuRFService
+
+__all__ = [
+    "SuRFService",
+    "ServiceResponse",
+    "ServiceStats",
+]

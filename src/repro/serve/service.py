@@ -1,0 +1,373 @@
+"""The SuRF query service: cached, satisfiability-gated, multi-query serving.
+
+The paper's headline claim (Table I) is that query latency is independent of
+the dataset size because all data access happens offline.  This module turns
+that property into a deployable front-end: a :class:`SuRFService` wraps one
+fitted :class:`~repro.core.finder.SuRF` (typically loaded from an artifact
+bundle) and serves threshold queries with three optimisations a raw finder
+does not have:
+
+1. **Eq. 5 satisfiability gate** — thresholds no past evaluation ever reached
+   are rejected with one ``O(log W)`` binary search instead of burning a full
+   GSO run that cannot find anything (the surrogate cannot extrapolate beyond
+   its training range either, so such a run is doubly hopeless).
+2. **Query normalisation + LRU result caching** — heavy analyst traffic
+   repeats thresholds; a repeated query is answered from the cache without
+   invoking the optimiser at all.
+3. **Batched execution with request coalescing** — ``find_regions_batch``
+   deduplicates identical queries inside one batch (each distinct query runs
+   GSO once, every duplicate shares the result) and runs the distinct misses
+   on a thread pool; the swarm kernels are NumPy-bound and release the GIL in
+   their hot loops.  Seeded runs stay bit-identical to sequential
+   ``find_regions`` calls because every run derives its RNG stream from the
+   finder's configured seed, never from shared mutable state.  (A finder
+   seeded with a caller-owned live ``numpy`` ``Generator`` — inherently
+   non-reproducible and not thread-safe — is detected and executed on a
+   single worker.)
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.finder import RegionSearchResult, SuRF
+from repro.core.query import RegionQuery
+from repro.exceptions import NotFittedError, ValidationError
+
+
+@dataclass
+class ServiceStats:
+    """Counters of everything the service did since construction (or ``reset``).
+
+    ``cache_misses`` counts queries that needed a result not in the cache when
+    they arrived; of those, ``coalesced`` were answered by sharing an identical
+    in-flight run inside the same batch, so ``gso_runs`` — actual optimiser
+    executions — equals ``cache_misses - coalesced``.
+    """
+
+    queries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    coalesced: int = 0
+    rejected: int = 0
+    gso_runs: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of queries answered from the cache."""
+        return self.cache_hits / self.queries if self.queries else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for logs and benchmark tables."""
+        return {
+            "queries": self.queries,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "coalesced": self.coalesced,
+            "rejected": self.rejected,
+            "gso_runs": self.gso_runs,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """One answered query.
+
+    Attributes
+    ----------
+    query:
+        The normalised query that was served.
+    status:
+        ``"served"`` (a fresh GSO run — possibly shared with identical queries
+        of the same batch), ``"cached"`` (answered from the LRU cache) or
+        ``"rejected"`` (Eq. 5 satisfiability at or below the service's gate;
+        no optimiser run).
+    satisfiability:
+        The Eq. 5 probability estimated for the query.
+    result:
+        The full :class:`~repro.core.finder.RegionSearchResult`, or ``None``
+        when the query was rejected.
+    elapsed_seconds:
+        Wall-clock time the service spent producing this response (for a
+        coalesced batch member, the shared run's time).
+    """
+
+    query: RegionQuery
+    status: str
+    satisfiability: float
+    result: Optional[RegionSearchResult]
+    elapsed_seconds: float
+
+    @property
+    def proposals(self) -> List:
+        """The proposed regions (empty for rejected queries)."""
+        return self.result.proposals if self.result is not None else []
+
+
+class SuRFService:
+    """Serving front-end over one fitted :class:`~repro.core.finder.SuRF`.
+
+    Parameters
+    ----------
+    finder:
+        A fitted finder; typically ``SuRF.load(bundle_path)``.
+    cache_size:
+        Maximum number of query results kept in the LRU cache (0 disables
+        caching; duplicate queries inside one batch are still coalesced).
+    min_satisfiability:
+        Queries whose Eq. 5 probability is **at or below** this value are
+        rejected without running the optimiser.  The default 0.0 rejects
+        exactly the thresholds that no past evaluation ever satisfied.
+    max_proposals:
+        Forwarded to every ``find_regions`` call.
+    max_workers:
+        Default thread-pool width for :meth:`find_regions_batch` (``None``
+        picks ``min(num distinct queries, cpu count)`` per batch).
+    """
+
+    def __init__(
+        self,
+        finder: SuRF,
+        cache_size: int = 128,
+        min_satisfiability: float = 0.0,
+        max_proposals: Optional[int] = None,
+        max_workers: Optional[int] = None,
+    ):
+        if not isinstance(finder, SuRF):
+            raise ValidationError(f"finder must be a SuRF instance, got {type(finder)!r}")
+        if finder.surrogate_ is None or finder.solution_space_ is None:
+            raise NotFittedError("SuRFService requires a fitted SuRF finder")
+        if finder.satisfiability_ is None:
+            raise NotFittedError("SuRFService requires a finder with a satisfiability model")
+        if cache_size < 0:
+            raise ValidationError(f"cache_size must be >= 0, got {cache_size}")
+        if not 0.0 <= min_satisfiability < 1.0:
+            raise ValidationError(
+                f"min_satisfiability must be in [0, 1), got {min_satisfiability}"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise ValidationError(f"max_workers must be >= 1, got {max_workers}")
+        self.finder = finder
+        self.cache_size = int(cache_size)
+        self.min_satisfiability = float(min_satisfiability)
+        self.max_proposals = max_proposals
+        self.max_workers = max_workers
+        self._cache: "OrderedDict[RegionQuery, RegionSearchResult]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._stats = ServiceStats()
+
+    @classmethod
+    def from_bundle(cls, path, **kwargs) -> "SuRFService":
+        """Build a service straight from an artifact bundle on disk."""
+        return cls(SuRF.load(path), **kwargs)
+
+    # ------------------------------------------------------------------ normalisation
+    @staticmethod
+    def normalize_query(query: RegionQuery) -> RegionQuery:
+        """Canonical form of a query, used as the cache key.
+
+        Numeric fields are coerced to plain Python floats so that e.g. a
+        ``numpy.float64`` threshold and its float twin hit the same cache
+        entry; :class:`RegionQuery` re-validates on construction.
+        """
+        if not isinstance(query, RegionQuery):
+            raise ValidationError(f"expected a RegionQuery, got {type(query)!r}")
+        return RegionQuery(
+            threshold=float(query.threshold),
+            direction=query.direction,
+            size_penalty=float(query.size_penalty),
+        )
+
+    # ------------------------------------------------------------------ cache internals
+    def _cache_get(self, key: RegionQuery) -> Optional[RegionSearchResult]:
+        """LRU lookup; caller must hold the lock."""
+        result = self._cache.get(key)
+        if result is not None:
+            self._cache.move_to_end(key)
+        return result
+
+    def _cache_put(self, key: RegionQuery, result: RegionSearchResult) -> None:
+        """LRU insert with eviction; caller must hold the lock."""
+        if self.cache_size == 0:
+            return
+        self._cache[key] = result
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    def clear_cache(self) -> None:
+        """Drop every cached result (stats are kept)."""
+        with self._lock:
+            self._cache.clear()
+
+    @property
+    def cached_queries(self) -> int:
+        """Number of results currently held in the cache."""
+        with self._lock:
+            return len(self._cache)
+
+    @property
+    def stats(self) -> ServiceStats:
+        """A snapshot copy of the service counters."""
+        with self._lock:
+            return replace(self._stats)
+
+    def reset_stats(self) -> None:
+        """Zero all counters (the cache is untouched)."""
+        with self._lock:
+            self._stats = ServiceStats()
+
+    def _uses_shared_generator(self) -> bool:
+        """Whether the finder draws from a caller-owned live ``Generator``.
+
+        ``random_state`` may be a live :class:`numpy.random.Generator`
+        (:func:`repro.utils.rng.ensure_rng`); such a stream is shared, mutable
+        and not thread-safe, so batch execution must fall back to one worker.
+        """
+        parameters = self.finder.gso_parameters
+        return isinstance(self.finder.random_state, np.random.Generator) or (
+            parameters is not None and isinstance(parameters.random_state, np.random.Generator)
+        )
+
+    # ------------------------------------------------------------------ serving
+    def _run_query(self, query: RegionQuery) -> RegionSearchResult:
+        """One real GSO run (the only code path that invokes the optimiser)."""
+        result = self.finder.find_regions(query, max_proposals=self.max_proposals)
+        with self._lock:
+            self._stats.gso_runs += 1
+        return result
+
+    def find_regions(self, query: RegionQuery) -> ServiceResponse:
+        """Serve a single query: gate on Eq. 5, then cache, then GSO.
+
+        Concurrent callers racing on the *same* uncached query may each run the
+        optimiser (the results are identical); use :meth:`find_regions_batch`
+        to coalesce known-duplicate requests.
+        """
+        start = time.perf_counter()
+        query = self.normalize_query(query)
+        probability = self.finder.satisfiability(query)
+        with self._lock:
+            self._stats.queries += 1
+            if probability <= self.min_satisfiability:
+                self._stats.rejected += 1
+                status, result = "rejected", None
+            else:
+                result = self._cache_get(query)
+                if result is not None:
+                    self._stats.cache_hits += 1
+                    status = "cached"
+                else:
+                    self._stats.cache_misses += 1
+                    status = "served"
+        if status == "served":
+            result = self._run_query(query)
+            with self._lock:
+                self._cache_put(query, result)
+        return ServiceResponse(
+            query=query,
+            status=status,
+            satisfiability=probability,
+            result=result,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def find_regions_batch(
+        self,
+        queries: Sequence[RegionQuery],
+        max_workers: Optional[int] = None,
+    ) -> List[ServiceResponse]:
+        """Serve many queries at once, sharing work across them.
+
+        Every query is normalised and classified under one lock acquisition:
+        rejected (Eq. 5), answered from cache, or a miss.  Identical misses are
+        coalesced — each distinct query runs GSO exactly once and all of its
+        duplicates share the result — and the distinct runs execute on a
+        thread pool.  Responses come back in input order and are bit-identical
+        to what sequential :meth:`find_regions` calls would have produced,
+        because each run's RNG stream depends only on the finder's seed.  A
+        finder seeded with a live ``Generator`` instead of an integer falls
+        back to one worker (the stream is shared, mutable and not
+        thread-safe).
+        """
+        start = time.perf_counter()
+        normalized = [self.normalize_query(query) for query in queries]
+        probabilities = [self.finder.satisfiability(query) for query in normalized]
+
+        statuses: List[str] = [""] * len(normalized)
+        results: List[Optional[RegionSearchResult]] = [None] * len(normalized)
+        elapsed: List[float] = [0.0] * len(normalized)
+        pending: "OrderedDict[RegionQuery, List[int]]" = OrderedDict()
+        with self._lock:
+            for index, (query, probability) in enumerate(zip(normalized, probabilities)):
+                self._stats.queries += 1
+                if probability <= self.min_satisfiability:
+                    self._stats.rejected += 1
+                    statuses[index] = "rejected"
+                    continue
+                cached = self._cache_get(query)
+                if cached is not None:
+                    self._stats.cache_hits += 1
+                    statuses[index] = "cached"
+                    results[index] = cached
+                    continue
+                self._stats.cache_misses += 1
+                statuses[index] = "served"
+                if query in pending:
+                    self._stats.coalesced += 1
+                pending.setdefault(query, []).append(index)
+        # Rejected/cached responses cost one classification-loop share each,
+        # not the whole loop's wall clock.
+        per_query_seconds = (time.perf_counter() - start) / max(len(normalized), 1)
+        for index, status in enumerate(statuses):
+            if status in ("rejected", "cached"):
+                elapsed[index] = per_query_seconds
+
+        if pending:
+            distinct = list(pending.items())
+            workers = max_workers if max_workers is not None else self.max_workers
+            if workers is None:
+                workers = min(len(distinct), os.cpu_count() or 1)
+            if self._uses_shared_generator():
+                # A shared live Generator is mutated by every run and is not
+                # thread-safe; concurrent draws could corrupt its state.
+                workers = 1
+
+            def run_timed(item: Tuple[RegionQuery, List[int]]):
+                run_start = time.perf_counter()
+                result = self._run_query(item[0])
+                return result, time.perf_counter() - run_start
+
+            if workers <= 1 or len(distinct) == 1:
+                outcomes = [run_timed(item) for item in distinct]
+            else:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    outcomes = list(pool.map(run_timed, distinct))
+            with self._lock:
+                for (query, indices), (result, seconds) in zip(distinct, outcomes):
+                    self._cache_put(query, result)
+                    for index in indices:
+                        results[index] = result
+                        elapsed[index] = seconds
+
+        return [
+            ServiceResponse(
+                query=query,
+                status=status,
+                satisfiability=probability,
+                result=result,
+                elapsed_seconds=seconds,
+            )
+            for query, status, probability, result, seconds in zip(
+                normalized, statuses, probabilities, results, elapsed
+            )
+        ]

@@ -18,7 +18,10 @@ class SurrogateModel:
     The wrapper remembers the region dimensionality it was trained for and
     exposes both vector-level (``predict``) and region-level
     (``predict_region``) interfaces; the optimiser uses the former, analysts
-    the latter.  When ``augment_features`` is set, the same feature map used at
+    the latter.  Prediction never mutates the wrapper or the estimator, so one
+    fitted surrogate can be shared across the serving layer's concurrent GSO
+    runs (:mod:`repro.serve`) without locking.  When ``augment_features`` is
+    set, the same feature map used at
     training time (:func:`repro.surrogate.features.augment_region_vectors`) is
     applied before every prediction — callers always pass plain ``[x, l]``
     vectors either way.

@@ -1,4 +1,4 @@
-"""Saving and loading workloads and trained surrogate models.
+"""Saving and loading workloads, trained surrogates and whole finder bundles.
 
 Surrogates are meant to be trained once (possibly on a beefier machine) and
 then shipped to analysts, so the library provides a small persistence layer:
@@ -7,38 +7,57 @@ then shipped to analysts, so the library provides a small persistence layer:
   the feature matrix and target vector — portable and inspectable;
 * trained :class:`~repro.surrogate.model.SurrogateModel` objects are stored
   with :mod:`pickle`, which is sufficient because every estimator in
-  :mod:`repro.ml` is a plain Python object.
+  :mod:`repro.ml` is a plain Python object;
+* a whole fitted :class:`~repro.core.finder.SuRF` round-trips to a single
+  *artifact bundle* (:func:`save_bundle` / :func:`load_bundle`) carrying the
+  surrogate, solution space, density model, satisfiability model, workload
+  features and configuration — everything query serving needs, nothing the
+  raw data ever touches.  Bundles are versioned pickles with a format header
+  so loads fail loudly on foreign or future files.
 """
 
 from __future__ import annotations
 
 import pickle
 from pathlib import Path
-from typing import Union
+from typing import TYPE_CHECKING, Union
 
 import numpy as np
 
 from repro.data.regions import Region
-from repro.exceptions import ValidationError
+from repro.exceptions import NotFittedError, ValidationError
 from repro.surrogate.model import SurrogateModel
 from repro.surrogate.workload import RegionEvaluation, RegionWorkload
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.core.finder import SuRF
+
 PathLike = Union[str, Path]
+
+#: Header values identifying a SuRF artifact bundle on disk.
+BUNDLE_FORMAT = "surf-bundle"
+BUNDLE_VERSION = 1
 
 
 def save_workload(workload: RegionWorkload, path: PathLike) -> Path:
-    """Write a workload to ``path`` as a ``.npz`` archive and return the path."""
+    """Write a workload to ``path`` as a ``.npz`` archive and return the written path.
+
+    ``numpy.savez_compressed`` appends ``.npz`` to any filename that does not
+    already end in it; the returned path is the file that actually exists on
+    disk (not a suffix-mangled guess), so it can be handed straight to
+    :func:`load_workload` or shipped elsewhere.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez_compressed(path, features=workload.features, targets=workload.targets)
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    return path if path.name.endswith(".npz") else path.with_name(path.name + ".npz")
 
 
 def load_workload(path: PathLike) -> RegionWorkload:
     """Load a workload previously written by :func:`save_workload`."""
     path = Path(path)
-    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
-        path = path.with_suffix(path.suffix + ".npz")
+    if not path.exists() and path.with_name(path.name + ".npz").exists():
+        path = path.with_name(path.name + ".npz")
     with np.load(path) as archive:
         if "features" not in archive or "targets" not in archive:
             raise ValidationError(f"{path} is not a workload archive (missing features/targets)")
@@ -74,3 +93,92 @@ def load_surrogate(path: PathLike) -> SurrogateModel:
     if not isinstance(surrogate, SurrogateModel):
         raise ValidationError(f"{path} does not contain a SurrogateModel")
     return surrogate
+
+
+# --------------------------------------------------------------------------- bundles
+def save_bundle(finder: "SuRF", path: PathLike) -> Path:
+    """Write a fitted :class:`~repro.core.finder.SuRF` to a single bundle file.
+
+    The bundle is self-contained: fitted state (surrogate, solution space,
+    density model, satisfiability model, workload features) plus every
+    constructor setting, so :func:`load_bundle` rebuilds a finder whose seeded
+    ``find_regions`` calls are bit-identical to the original's.  Train once,
+    ship the file to analysts.
+    """
+    from repro.core.finder import SuRF
+
+    if not isinstance(finder, SuRF):
+        raise ValidationError(f"expected a SuRF finder, got {type(finder)!r}")
+    if finder.surrogate_ is None or finder.solution_space_ is None:
+        raise NotFittedError("only a fitted SuRF can be saved to a bundle")
+    payload = {
+        "format": BUNDLE_FORMAT,
+        "version": BUNDLE_VERSION,
+        "config": {
+            "objective": finder.objective_kind,
+            "use_density_guidance": finder.use_density_guidance,
+            "density_method": finder.density_method,
+            "min_half_fraction": finder.min_half_fraction,
+            "max_half_fraction": finder.max_half_fraction,
+            "overlap_threshold": finder.overlap_threshold,
+            "warm_start_fraction": finder.warm_start_fraction,
+            "random_state": finder.random_state,
+        },
+        "trainer": finder.trainer,
+        "gso_parameters": finder.gso_parameters,
+        "surrogate": finder.surrogate_,
+        "solution_space": finder.solution_space_,
+        "density": finder.density_,
+        "satisfiability": finder.satisfiability_,
+        "workload_features": finder.workload_features_,
+        "workload_size": finder.workload_size_,
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as handle:
+        pickle.dump(payload, handle)
+    return path
+
+
+def load_bundle(path: PathLike, finder_cls: type = None) -> "SuRF":
+    """Load a fitted :class:`~repro.core.finder.SuRF` from a bundle file.
+
+    ``finder_cls`` lets :class:`SuRF` subclasses reconstruct themselves
+    (``MySuRF.load(path)`` threads the subclass through); it must accept the
+    same constructor arguments as :class:`SuRF`.
+    """
+    from repro.core.finder import SuRF
+
+    if finder_cls is None:
+        finder_cls = SuRF
+    elif not (isinstance(finder_cls, type) and issubclass(finder_cls, SuRF)):
+        raise ValidationError(f"finder_cls must be SuRF or a subclass, got {finder_cls!r}")
+    with open(path, "rb") as handle:
+        payload = pickle.load(handle)
+    if not isinstance(payload, dict) or payload.get("format") != BUNDLE_FORMAT:
+        raise ValidationError(f"{path} is not a SuRF artifact bundle")
+    version = payload.get("version")
+    if version != BUNDLE_VERSION:
+        raise ValidationError(
+            f"{path} is a version-{version} bundle; this build reads version {BUNDLE_VERSION}"
+        )
+    config = payload["config"]
+    finder = finder_cls(
+        trainer=payload["trainer"],
+        objective=config["objective"],
+        use_density_guidance=config["use_density_guidance"],
+        density_method=config["density_method"],
+        gso_parameters=payload["gso_parameters"],
+        min_half_fraction=config["min_half_fraction"],
+        max_half_fraction=config["max_half_fraction"],
+        overlap_threshold=config["overlap_threshold"],
+        warm_start_fraction=config["warm_start_fraction"],
+        random_state=config["random_state"],
+    )
+    finder.surrogate_ = payload["surrogate"]
+    finder.solution_space_ = payload["solution_space"]
+    finder.density_ = payload["density"]
+    finder.satisfiability_ = payload["satisfiability"]
+    finder.workload_features_ = payload["workload_features"]
+    finder.workload_size_ = payload["workload_size"]
+    return finder

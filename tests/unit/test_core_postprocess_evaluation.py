@@ -104,6 +104,59 @@ class TestProposalsFromResult:
         proposal = RegionProposal(region=region, predicted_value=1.0, objective_value=2.0)
         np.testing.assert_allclose(proposal.vector, region.to_vector())
 
+    def test_objective_value_matches_reported_region(self):
+        # Regression: proposals used to report the cluster *seed's* fitness but
+        # the max-margin *member's* region, so objective_value did not
+        # correspond to region.  The representative's objective must be
+        # re-evaluated for the vector actually reported.
+        def center_statistic(vector):
+            return float(100.0 * vector[0])
+
+        def batch_center_statistic(vectors):
+            return 100.0 * vectors[:, 0]
+
+        query = RegionQuery(threshold=10.0, direction="above")
+        objective = LogObjective(center_statistic, query, batch_center_statistic)
+        # Two overlapping particles: index 0 gets the (fake) higher swarm
+        # fitness and seeds the cluster, index 1 has the larger predicted
+        # margin and becomes the representative.
+        vectors = np.array(
+            [
+                [0.50, 0.5, 0.1, 0.1],
+                [0.52, 0.5, 0.1, 0.1],
+            ]
+        )
+        result = make_result(vectors, [99.0, 1.0])
+        proposals = proposals_from_result(
+            result, objective, center_statistic, overlap_threshold=0.3
+        )
+        assert len(proposals) == 1
+        proposal = proposals[0]
+        np.testing.assert_allclose(proposal.vector, vectors[1])
+        assert proposal.predicted_value == pytest.approx(52.0)
+        assert proposal.objective_value == pytest.approx(objective(vectors[1]))
+        assert proposal.objective_value != pytest.approx(99.0)
+
+    def test_proposals_sorted_by_recomputed_objective(self):
+        def center_statistic(vector):
+            return float(100.0 * vector[0])
+
+        query = RegionQuery(threshold=10.0, direction="above")
+        objective = LogObjective(center_statistic, query)
+        # Swarm fitness order (fake) disagrees with the true objective order;
+        # sorting must follow the re-evaluated representative objectives.
+        vectors = np.array(
+            [
+                [0.30, 0.5, 0.05, 0.05],
+                [0.90, 0.5, 0.05, 0.05],
+            ]
+        )
+        result = make_result(vectors, [50.0, 1.0])
+        proposals = proposals_from_result(result, objective, center_statistic)
+        assert len(proposals) == 2
+        assert proposals[0].objective_value >= proposals[1].objective_value
+        assert proposals[0].predicted_value == pytest.approx(90.0)
+
 
 class TestEvaluationMetrics:
     def test_match_to_ground_truth_perfect_match(self):

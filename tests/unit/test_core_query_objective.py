@@ -103,6 +103,12 @@ class TestSolutionSpace:
         with pytest.raises(ValidationError):
             SolutionSpace.from_workload_features(np.ones((3, 3)))
 
+    def test_from_workload_features_rejects_empty_matrix(self):
+        # Regression: an empty feature matrix used to crash with a cryptic
+        # numpy "zero-size array to reduction operation" error.
+        with pytest.raises(ValidationError):
+            SolutionSpace.from_workload_features(np.empty((0, 4)))
+
 
 class TestLogObjective:
     def test_feasible_region_value(self):
@@ -199,6 +205,37 @@ class TestRatioObjective:
         np.testing.assert_allclose(
             objective.evaluate_batch(vectors), [objective(v) for v in vectors]
         )
+
+    def test_batch_negative_half_lengths_warn_free(self):
+        # Regression: the batch path exponentiated every row's volume before
+        # masking, so negative half lengths under a fractional size penalty
+        # raised "invalid value encountered in power" and produced transient
+        # NaNs.  The volume term must only be computed on valid rows, like the
+        # scalar path, which checks first.
+        import warnings
+
+        query = RegionQuery(threshold=50.0, direction="above", size_penalty=2.5)
+        objective = RatioObjective(linear_statistic, query, batch_linear_statistic)
+        vectors = np.array(
+            [
+                [0.5, 0.5, 0.3, 0.3],
+                [0.5, 0.5, -0.1, 0.3],
+                [0.5, 0.5, 0.2, -0.2],
+            ]
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            values = objective.evaluate_batch(vectors)
+        assert np.isfinite(values[0])
+        assert values[1] == -np.inf
+        assert values[2] == -np.inf
+        assert not np.any(np.isnan(values))
+
+    def test_batch_all_rows_invalid_returns_minus_inf(self):
+        query = RegionQuery(threshold=50.0, direction="above", size_penalty=2.5)
+        objective = RatioObjective(linear_statistic, query, batch_linear_statistic)
+        vectors = np.array([[0.5, 0.5, -0.1, 0.3], [0.5, 0.5, 0.0, 0.3]])
+        np.testing.assert_array_equal(objective.evaluate_batch(vectors), [-np.inf, -np.inf])
 
 
 class TestFactory:

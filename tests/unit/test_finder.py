@@ -108,6 +108,42 @@ class TestFinding:
         assert result.elapsed_seconds > 0
 
 
+class TestWarmStartRng:
+    def test_warm_start_stream_differs_from_optimizer_stream(self):
+        # Regression: warm-start sampling used default_rng(random_state) — the
+        # exact stream the GSO optimiser consumes for movement — so the two
+        # drew correlated random numbers.  The warm-start stream must be an
+        # independent child of the seed, not a replay of the optimiser's.
+        finder = SuRF(random_state=0)
+        warm_draws = finder._warm_start_rng().random(16)
+        optimizer_draws = np.random.default_rng(0).random(16)
+        assert not np.any(warm_draws == optimizer_draws)
+
+    def test_warm_start_stream_is_deterministic_per_seed(self):
+        finder = SuRF(random_state=7)
+        np.testing.assert_array_equal(
+            finder._warm_start_rng().random(8), finder._warm_start_rng().random(8)
+        )
+        other = SuRF(random_state=8)
+        assert not np.array_equal(finder._warm_start_rng().random(8), other._warm_start_rng().random(8))
+
+    def test_generator_random_state_still_supported(self, density_workload, density_query, fast_trainer):
+        # Regression: random_state may be a live numpy Generator everywhere in
+        # the library (repro.utils.rng.ensure_rng); SeedSequence cannot take
+        # one, so _warm_start_rng must pass it through instead.
+        shared = np.random.default_rng(0)
+        finder = SuRF(
+            trainer=fast_trainer,
+            use_density_guidance=False,
+            gso_parameters=GSOParameters(num_particles=20, num_iterations=10, random_state=shared),
+            random_state=shared,
+        )
+        finder.fit(density_workload)
+        assert finder._warm_start_rng() is shared
+        result = finder.find_regions(density_query)
+        assert result.optimization.num_iterations > 0
+
+
 class TestConfigurationVariants:
     def test_ratio_objective_variant_runs(self, density_workload, density_query, fast_trainer):
         finder = SuRF(

@@ -27,6 +27,27 @@ class TestWorkloadPersistence:
         with pytest.raises(FileNotFoundError):
             load_workload(tmp_path / "missing.npz")
 
+    def test_save_returns_path_numpy_actually_wrote(self, density_workload, tmp_path):
+        # Regression: numpy appends ".npz" to any filename not already ending
+        # in it; save_workload must return that real on-disk path, not a
+        # suffix-mangled guess.
+        for name in ("workload", "workload.dat", "v1.2-workload"):
+            written = save_workload(density_workload, tmp_path / name)
+            assert written.exists(), name
+            assert written.name == f"{name}.npz"
+            restored = load_workload(written)
+            np.testing.assert_allclose(restored.features, density_workload.features)
+
+    def test_save_keeps_npz_suffix_untouched(self, density_workload, tmp_path):
+        written = save_workload(density_workload, tmp_path / "workload.npz")
+        assert written == tmp_path / "workload.npz"
+        assert written.exists()
+
+    def test_load_accepts_path_without_npz_suffix(self, density_workload, tmp_path):
+        save_workload(density_workload, tmp_path / "workload")
+        restored = load_workload(tmp_path / "workload")
+        np.testing.assert_allclose(restored.targets, density_workload.targets)
+
 
 class TestSurrogatePersistence:
     def test_round_trip_predictions_identical(self, fitted_surf, tmp_path):

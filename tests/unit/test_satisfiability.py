@@ -1,0 +1,103 @@
+"""Unit tests for the Eq. 5 satisfiability model."""
+
+import numpy as np
+import pytest
+
+from repro.core.query import RegionQuery
+from repro.core.satisfiability import SatisfiabilityModel
+from repro.exceptions import NotFittedError, ValidationError
+
+
+@pytest.fixture()
+def uniform_model():
+    """A model over the values 1..100 — every probability is exact."""
+    return SatisfiabilityModel().fit(np.arange(1.0, 101.0))
+
+
+class TestFitting:
+    def test_unfitted_model_raises(self):
+        model = SatisfiabilityModel()
+        with pytest.raises(NotFittedError):
+            model.cdf(1.0)
+        with pytest.raises(NotFittedError):
+            model.probability(RegionQuery(threshold=1.0))
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValidationError):
+            SatisfiabilityModel().fit([])
+
+    def test_all_nan_sample_rejected(self):
+        with pytest.raises(ValidationError):
+            SatisfiabilityModel().fit([np.nan, np.inf, -np.inf])
+
+    def test_non_finite_values_dropped(self):
+        model = SatisfiabilityModel().fit([1.0, np.nan, 2.0, np.inf])
+        assert model.num_samples == 2
+
+    def test_from_workload_uses_targets(self, density_workload):
+        model = SatisfiabilityModel.from_workload(density_workload)
+        assert model.num_samples == len(density_workload)
+
+
+class TestCdf:
+    def test_cdf_is_monotone_non_decreasing(self, density_workload):
+        model = SatisfiabilityModel.from_workload(density_workload)
+        probes = np.linspace(density_workload.targets.min() - 1, density_workload.targets.max() + 1, 200)
+        values = [model.cdf(probe) for probe in probes]
+        assert all(later >= earlier for earlier, later in zip(values, values[1:]))
+        assert values[0] == 0.0
+        assert values[-1] == 1.0
+
+    def test_cdf_exact_on_known_sample(self, uniform_model):
+        assert uniform_model.cdf(0.0) == 0.0
+        assert uniform_model.cdf(50.0) == pytest.approx(0.5)
+        assert uniform_model.cdf(100.0) == 1.0
+
+    def test_quantile(self, uniform_model):
+        assert uniform_model.quantile(0.0) == pytest.approx(1.0)
+        assert uniform_model.quantile(1.0) == pytest.approx(100.0)
+        with pytest.raises(ValidationError):
+            uniform_model.quantile(1.5)
+
+
+class TestProbability:
+    def test_above_probability_counts_strict_exceedances(self, uniform_model):
+        # 50 of the 100 values exceed 50.
+        assert uniform_model.probability(RegionQuery(threshold=50.0, direction="above")) == pytest.approx(0.5)
+        # Nothing exceeds the maximum.
+        assert uniform_model.probability(RegionQuery(threshold=100.0, direction="above")) == 0.0
+        assert uniform_model.probability(RegionQuery(threshold=0.0, direction="above")) == 1.0
+
+    def test_below_probability_is_strict(self, uniform_model):
+        # 49 of the 100 values are strictly below 50.
+        assert uniform_model.probability(RegionQuery(threshold=50.0, direction="below")) == pytest.approx(0.49)
+        assert uniform_model.probability(RegionQuery(threshold=1.0, direction="below")) == 0.0
+        assert uniform_model.probability(RegionQuery(threshold=1_000.0, direction="below")) == 1.0
+
+    def test_probabilities_are_probabilities(self, uniform_model):
+        for threshold in (-5.0, 0.0, 3.7, 55.5, 200.0):
+            for direction in ("above", "below"):
+                value = uniform_model.probability(RegionQuery(threshold=threshold, direction=direction))
+                assert 0.0 <= value <= 1.0
+
+    def test_satisfiable_threshold_inverts_probability(self, uniform_model):
+        threshold = uniform_model.satisfiable_threshold(0.25, direction="above")
+        assert uniform_model.probability(
+            RegionQuery(threshold=threshold, direction="above")
+        ) == pytest.approx(0.25, abs=0.02)
+        with pytest.raises(ValidationError):
+            uniform_model.satisfiable_threshold(2.0)
+
+
+class TestFinderIntegration:
+    def test_fitted_surf_exposes_satisfiability(self, fitted_surf, density_query, density_workload):
+        probability = fitted_surf.satisfiability(density_query)
+        assert 0.0 < probability < 1.0
+        hopeless = RegionQuery(threshold=float(density_workload.targets.max()) * 10, direction="above")
+        assert fitted_surf.satisfiability(hopeless) == 0.0
+
+    def test_unfitted_surf_satisfiability_raises(self, density_query):
+        from repro.core.finder import SuRF
+
+        with pytest.raises(NotFittedError):
+            SuRF().satisfiability(density_query)
