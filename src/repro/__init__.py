@@ -6,6 +6,10 @@ The public API re-exports the pieces most users need:
 * :class:`repro.RegionQuery` / :class:`repro.Region` — queries and results,
 * :class:`repro.SuRFService` — the serving front-end (artifact bundles,
   Eq. 5 satisfiability gating, LRU caching, batched multi-query execution),
+* the online learning loop (:mod:`repro.online`) — :class:`repro.QueryLog`
+  harvesting, :class:`repro.IncrementalTrainer` warm-start refreshes with a
+  :class:`repro.DriftMonitor`-guarded full-refit fallback, and hot-swap
+  serving via ``SuRFService.refresh`` / :class:`repro.RefreshPolicy`,
 * the data substrate (:mod:`repro.data`), surrogate layer
   (:mod:`repro.surrogate`), baselines (:mod:`repro.baselines`) and the
   experiment runners reproducing each table/figure (:mod:`repro.experiments`).
@@ -32,6 +36,7 @@ from repro.core.satisfiability import SatisfiabilityModel
 from repro.data.dataset import Dataset
 from repro.data.engine import DataEngine
 from repro.data.regions import Region
+from repro.online import DriftMonitor, IncrementalTrainer, QueryLog, RefreshOutcome, RefreshPolicy
 from repro.serve.service import ServiceResponse, ServiceStats, SuRFService
 from repro.surrogate.training import SurrogateTrainer
 from repro.surrogate.workload import RegionWorkload, generate_workload
@@ -54,6 +59,11 @@ __all__ = [
     "SuRFService",
     "ServiceResponse",
     "ServiceStats",
+    "QueryLog",
+    "DriftMonitor",
+    "IncrementalTrainer",
+    "RefreshOutcome",
+    "RefreshPolicy",
     "LogObjective",
     "RatioObjective",
     "average_iou",

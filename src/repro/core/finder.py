@@ -136,6 +136,7 @@ class SuRF:
         self.density_: Optional[RegionMassEstimator] = None
         self.satisfiability_: Optional[SatisfiabilityModel] = None
         self.workload_features_: Optional[np.ndarray] = None
+        self.workload_targets_: Optional[np.ndarray] = None
         self.workload_size_: int = 0
 
     # ------------------------------------------------------------------ fitting
@@ -158,6 +159,7 @@ class SuRF:
         )
         self.satisfiability_ = SatisfiabilityModel.from_workload(workload)
         self.workload_features_ = workload.features
+        self.workload_targets_ = workload.targets
         self.workload_size_ = len(workload)
         self.density_ = None
         if self.use_density_guidance and data_sample is not None:

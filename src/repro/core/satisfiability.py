@@ -58,6 +58,27 @@ class SatisfiabilityModel:
         """Fit directly on a :class:`~repro.surrogate.workload.RegionWorkload`."""
         return cls().fit(workload.targets)
 
+    def extended_with(self, values) -> "SatisfiabilityModel":
+        """A new model whose CDF also covers ``values`` (the enlarged sample).
+
+        The online learning loop refreshes Eq. 5 with every batch of freshly
+        harvested evaluations; this merges the new statistic values into the
+        already-sorted sample in ``O(n log n + W)`` and leaves ``self``
+        untouched, so a serving layer can hot-swap the returned model while
+        the old one keeps answering in-flight probes.
+        """
+        self._check_fitted()
+        values = np.asarray(values, dtype=np.float64).ravel()
+        values = values[np.isfinite(values)]
+        extended = SatisfiabilityModel()
+        if values.size == 0:
+            extended._sorted = self._sorted.copy()
+            return extended
+        merged = np.concatenate([self._sorted, np.sort(values)])
+        merged.sort(kind="mergesort")  # both halves pre-sorted: this is a cheap merge
+        extended._sorted = merged
+        return extended
+
     def _check_fitted(self) -> None:
         if self._sorted is None:
             raise NotFittedError("SatisfiabilityModel must be fitted before use")

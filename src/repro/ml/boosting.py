@@ -43,6 +43,13 @@ class GradientBoostingRegressor(BaseEstimator):
         held-out RMSE has not improved for this many consecutive rounds.
     validation_fraction:
         Fraction of the training data held out for early stopping.
+    warm_start:
+        When ``True``, calling :meth:`fit` on an already-fitted model keeps
+        the existing trees and boosts additional rounds up to ``n_estimators``
+        on the data now provided (the scikit-learn ``warm_start`` idiom).
+        Raise ``n_estimators`` above :attr:`num_trees_` before refitting —
+        this is how the online loop folds freshly logged evaluations into a
+        trained surrogate without paying for a full retrain.
     random_state:
         Seed controlling row subsampling and the validation split.
     """
@@ -59,6 +66,7 @@ class GradientBoostingRegressor(BaseEstimator):
         max_bins: int = 64,
         early_stopping_rounds: Optional[int] = None,
         validation_fraction: float = 0.1,
+        warm_start: bool = False,
         random_state=None,
     ):
         self.n_estimators = n_estimators
@@ -71,6 +79,7 @@ class GradientBoostingRegressor(BaseEstimator):
         self.max_bins = max_bins
         self.early_stopping_rounds = early_stopping_rounds
         self.validation_fraction = validation_fraction
+        self.warm_start = warm_start
         self.random_state = random_state
 
         self._trees: Optional[List[DecisionTreeRegressor]] = None
@@ -83,6 +92,17 @@ class GradientBoostingRegressor(BaseEstimator):
     def fit(self, features, targets) -> "GradientBoostingRegressor":
         features, targets = self._validate_fit_inputs(features, targets)
         self._validate_hyper_parameters()
+        continuing = bool(self.warm_start) and self._trees is not None
+        if continuing:
+            if features.shape[1] != self._num_features:
+                raise ValidationError(
+                    f"warm_start fit expects {self._num_features} features, got {features.shape[1]}"
+                )
+            if int(self.n_estimators) <= len(self._trees):
+                raise ValidationError(
+                    f"warm_start requires n_estimators > the {len(self._trees)} trees already "
+                    f"fitted, got n_estimators={self.n_estimators}"
+                )
         rng = ensure_rng(self.random_state)
         self._num_features = features.shape[1]
 
@@ -98,20 +118,32 @@ class GradientBoostingRegressor(BaseEstimator):
         else:
             valid_features = valid_targets = None
 
-        self._base_prediction = float(targets.mean())
-        predictions = np.full(targets.shape[0], self._base_prediction)
-        valid_predictions = (
-            np.full(valid_targets.shape[0], self._base_prediction) if use_early_stopping else None
-        )
+        if continuing:
+            # Resume from the existing ensemble: its predictions on the data
+            # now provided are the starting point the new rounds boost from.
+            predictions = self.predict(features)
+            valid_predictions = self.predict(valid_features) if use_early_stopping else None
+        else:
+            self._base_prediction = float(targets.mean())
+            predictions = np.full(targets.shape[0], self._base_prediction)
+            valid_predictions = (
+                np.full(valid_targets.shape[0], self._base_prediction)
+                if use_early_stopping
+                else None
+            )
+            self._trees = []
+            self.train_scores_ = []
+            self.validation_scores_ = []
 
         binned = bin_features(features, max_bins=int(self.max_bins))
-        self._trees = []
-        self.train_scores_ = []
-        self.validation_scores_ = []
-        best_valid = np.inf
+        best_valid = (
+            float(np.sqrt(np.mean((valid_targets - valid_predictions) ** 2)))
+            if continuing and use_early_stopping
+            else np.inf
+        )
         rounds_without_improvement = 0
 
-        for _ in range(int(self.n_estimators)):
+        for _ in range(int(self.n_estimators) - len(self._trees)):
             residuals = targets - predictions
             tree = DecisionTreeRegressor(
                 max_depth=int(self.max_depth),

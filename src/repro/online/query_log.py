@@ -1,0 +1,209 @@
+"""The query log: harvested ``([x, l], y)`` pairs that close the serve→learn loop.
+
+The paper trains the surrogate on "pairs ``([x, l], y)`` harvested from the
+query log".  :class:`QueryLog` is that log as a first-class object: an
+append-only, capacity-capped ring buffer of exact region evaluations.  The
+serving layer records every exact evaluation it triggers (when it is wired to
+a ground-truth back-end), deployments push externally observed pairs in with
+:meth:`record`, and :class:`~repro.online.trainer.IncrementalTrainer` drains
+the log through :meth:`since` to fold new pairs into the surrogate.
+
+Persistence reuses the workload ``.npz`` layout
+(:func:`repro.surrogate.persistence.save_workload`), so a saved log is a valid
+training workload and vice versa — the offline and online training paths share
+one on-disk format.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.regions import Region
+from repro.exceptions import ValidationError
+from repro.surrogate.workload import RegionEvaluation, RegionWorkload
+
+
+class QueryLog:
+    """Append-only, capped, thread-safe buffer of exact region evaluations.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of evaluations retained.  Once full, recording a new
+        pair drops the oldest one (ring-buffer semantics); :attr:`dropped`
+        counts how many have been discarded this way.
+    region_dim:
+        Expected region dimensionality.  When omitted it is pinned by the
+        first recorded evaluation; every later record must match.
+
+    The log never exceeds ``capacity`` entries, and :attr:`total_recorded`
+    grows monotonically — consumers track their position in that monotone
+    stream and call :meth:`since` to fetch only what they have not seen yet.
+    """
+
+    def __init__(self, capacity: int = 100_000, region_dim: Optional[int] = None):
+        if capacity < 1:
+            raise ValidationError(f"capacity must be >= 1, got {capacity}")
+        if region_dim is not None and region_dim < 1:
+            raise ValidationError(f"region_dim must be >= 1, got {region_dim}")
+        self._capacity = int(capacity)
+        self._region_dim = int(region_dim) if region_dim is not None else None
+        self._entries: "deque[RegionEvaluation]" = deque(maxlen=self._capacity)
+        self._total_recorded = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ introspection
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of evaluations the log retains."""
+        return self._capacity
+
+    @property
+    def region_dim(self) -> Optional[int]:
+        """Region dimensionality of the logged pairs (``None`` until first record)."""
+        with self._lock:
+            return self._region_dim
+
+    @property
+    def total_recorded(self) -> int:
+        """How many evaluations were ever recorded (monotone, never decreases)."""
+        with self._lock:
+            return self._total_recorded
+
+    @property
+    def dropped(self) -> int:
+        """How many evaluations the ring buffer has discarded to stay capped."""
+        with self._lock:
+            return self._total_recorded - len(self._entries)
+
+    # ------------------------------------------------------------------ recording
+    def _check_dim(self, dim: int) -> None:
+        if self._region_dim is None:
+            self._region_dim = int(dim)
+        elif dim != self._region_dim:
+            raise ValidationError(
+                f"query log holds {self._region_dim}-dimensional evaluations, got {dim}"
+            )
+
+    def record(self, region: Region, value: float) -> None:
+        """Record one exact evaluation ``(region, y)``."""
+        self.record_evaluation(RegionEvaluation(region, float(value)))
+
+    def record_vector(self, vector, value: float) -> None:
+        """Record one exact evaluation given as an ``[x, l]`` solution vector."""
+        self.record_evaluation(
+            RegionEvaluation(Region.from_vector(np.asarray(vector, dtype=np.float64)), float(value))
+        )
+
+    def record_evaluation(self, evaluation: RegionEvaluation) -> None:
+        """Record one :class:`~repro.surrogate.workload.RegionEvaluation`."""
+        if not np.isfinite(evaluation.value):
+            raise ValidationError(f"logged statistic values must be finite, got {evaluation.value}")
+        with self._lock:
+            self._check_dim(evaluation.region.dim)
+            self._entries.append(evaluation)
+            self._total_recorded += 1
+
+    def record_many(self, evaluations: Sequence[RegionEvaluation]) -> None:
+        """Record a batch of evaluations in order (one lock acquisition).
+
+        The batch is all-or-nothing: values and dimensionalities are validated
+        up front, so a bad entry in the middle cannot leave a half-recorded
+        batch behind (a caller retrying the whole batch would otherwise feed
+        duplicated pairs into the next refresh).
+        """
+        evaluations = list(evaluations)
+        for evaluation in evaluations:
+            if not np.isfinite(evaluation.value):
+                raise ValidationError(
+                    f"logged statistic values must be finite, got {evaluation.value}"
+                )
+        with self._lock:
+            expected = self._region_dim
+            for evaluation in evaluations:
+                dim = evaluation.region.dim
+                if expected is None:
+                    expected = dim
+                elif dim != expected:
+                    raise ValidationError(
+                        f"query log holds {expected}-dimensional evaluations, got {dim}"
+                    )
+            if evaluations:
+                self._region_dim = expected
+            for evaluation in evaluations:
+                self._entries.append(evaluation)
+                self._total_recorded += 1
+
+    def extend_from_workload(self, workload: RegionWorkload) -> None:
+        """Record every evaluation of a workload (e.g. replaying an old log)."""
+        self.record_many(list(workload))
+
+    # ------------------------------------------------------------------ consumption
+    def since(self, cursor: int) -> Tuple[List[RegionEvaluation], int]:
+        """Evaluations recorded after position ``cursor``, plus the new cursor.
+
+        ``cursor`` is a :attr:`total_recorded` watermark (0 for "everything").
+        Evaluations that were dropped by the ring buffer before being consumed
+        are gone — the caller receives whatever is still retained, oldest
+        first, and the returned cursor accounts for the loss.
+        """
+        if cursor < 0:
+            raise ValidationError(f"cursor must be >= 0, got {cursor}")
+        with self._lock:
+            oldest_retained = self._total_recorded - len(self._entries)
+            skip = max(0, cursor - oldest_retained)
+            fresh = list(self._entries)[skip:]
+            return fresh, self._total_recorded
+
+    def snapshot(self) -> List[RegionEvaluation]:
+        """A point-in-time copy of every retained evaluation, oldest first."""
+        with self._lock:
+            return list(self._entries)
+
+    def as_workload(self) -> RegionWorkload:
+        """The retained evaluations as a training workload (raises when empty)."""
+        entries = self.snapshot()
+        if not entries:
+            raise ValidationError("the query log is empty; nothing to train on")
+        return RegionWorkload(entries)
+
+    def clear(self) -> None:
+        """Drop every retained evaluation (``total_recorded`` is kept monotone)."""
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------ persistence
+    def save(self, path) -> Path:
+        """Write the retained evaluations to ``path`` in the workload ``.npz`` layout.
+
+        The file is interchangeable with
+        :func:`repro.surrogate.persistence.save_workload` output: a saved log
+        loads as a training workload and a saved workload loads as a log.
+        """
+        from repro.surrogate.persistence import save_workload
+
+        return save_workload(self.as_workload(), path)
+
+    @classmethod
+    def load(cls, path, capacity: int = 100_000) -> "QueryLog":
+        """Rebuild a log from a workload ``.npz`` archive written by :meth:`save`.
+
+        When the archive holds more evaluations than ``capacity``, only the
+        most recent ones are retained — exactly what recording them one by one
+        into a fresh log would leave behind.
+        """
+        from repro.surrogate.persistence import load_workload
+
+        workload = load_workload(path)
+        log = cls(capacity=capacity, region_dim=workload.region_dim)
+        log.extend_from_workload(workload)
+        return log

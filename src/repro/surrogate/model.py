@@ -50,6 +50,11 @@ class SurrogateModel:
         """Dimensionality of the feature vectors (``2 d``)."""
         return 2 * self._region_dim
 
+    @property
+    def augments_features(self) -> bool:
+        """Whether the engineered feature map is applied before prediction."""
+        return self._augment_features
+
     # ------------------------------------------------------------------ prediction
     def predict(self, vectors: np.ndarray) -> np.ndarray:
         """Predict statistics for a batch of ``[x, l]`` vectors, shape ``(n, 2d)``."""

@@ -36,7 +36,11 @@ PathLike = Union[str, Path]
 
 #: Header values identifying a SuRF artifact bundle on disk.
 BUNDLE_FORMAT = "surf-bundle"
-BUNDLE_VERSION = 1
+#: Version 2 adds the workload targets, which the online learning loop needs
+#: to reconstruct its cumulative training workload; version-1 bundles load
+#: with targets absent (``workload_targets_ is None`` — serving works, but
+#: any online refresh, incremental or full, refuses with ``NotFittedError``).
+BUNDLE_VERSION = 2
 
 
 def save_workload(workload: RegionWorkload, path: PathLike) -> Path:
@@ -131,6 +135,7 @@ def save_bundle(finder: "SuRF", path: PathLike) -> Path:
         "density": finder.density_,
         "satisfiability": finder.satisfiability_,
         "workload_features": finder.workload_features_,
+        "workload_targets": finder.workload_targets_,
         "workload_size": finder.workload_size_,
     }
     path = Path(path)
@@ -158,9 +163,9 @@ def load_bundle(path: PathLike, finder_cls: type = None) -> "SuRF":
     if not isinstance(payload, dict) or payload.get("format") != BUNDLE_FORMAT:
         raise ValidationError(f"{path} is not a SuRF artifact bundle")
     version = payload.get("version")
-    if version != BUNDLE_VERSION:
+    if not isinstance(version, int) or not 1 <= version <= BUNDLE_VERSION:
         raise ValidationError(
-            f"{path} is a version-{version} bundle; this build reads version {BUNDLE_VERSION}"
+            f"{path} is a version-{version} bundle; this build reads versions 1..{BUNDLE_VERSION}"
         )
     config = payload["config"]
     finder = finder_cls(
@@ -180,5 +185,6 @@ def load_bundle(path: PathLike, finder_cls: type = None) -> "SuRF":
     finder.density_ = payload["density"]
     finder.satisfiability_ = payload["satisfiability"]
     finder.workload_features_ = payload["workload_features"]
+    finder.workload_targets_ = payload.get("workload_targets")
     finder.workload_size_ = payload["workload_size"]
     return finder

@@ -2,6 +2,7 @@
 
 from repro.utils.rng import ensure_rng, spawn_rng
 from repro.utils.validation import (
+    canonical_float,
     check_array,
     check_in_range,
     check_positive,
@@ -12,6 +13,7 @@ from repro.utils.validation import (
 __all__ = [
     "ensure_rng",
     "spawn_rng",
+    "canonical_float",
     "check_array",
     "check_in_range",
     "check_positive",

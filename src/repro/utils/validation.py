@@ -47,6 +47,27 @@ def check_array(
     return array
 
 
+def canonical_float(value, *, significant_digits: int = 12) -> float:
+    """Round a scalar to ``significant_digits`` decimal digits of precision.
+
+    Used wherever floats act as dictionary/cache keys: values that differ only
+    by float noise (serialisation round trips, ``float32`` upcasts, summation
+    order) map to one canonical representative.  The default 12 significant
+    digits tolerate relative noise up to ~1e-13 while staying far below any
+    statistically meaningful digit, and a 12-digit decimal survives the
+    decimal→binary→decimal round trip exactly, so the mapping is idempotent:
+    ``canonical_float(canonical_float(x)) == canonical_float(x)``.
+    """
+    if not 1 <= int(significant_digits) <= 17:
+        raise ValidationError(
+            f"significant_digits must be in [1, 17], got {significant_digits}"
+        )
+    value = float(value)
+    if not np.isfinite(value):
+        return value
+    return float(f"{value:.{int(significant_digits)}g}")
+
+
 def check_positive(value: float, *, name: str = "value", strict: bool = True) -> float:
     """Validate that ``value`` is a positive (or non-negative) finite scalar."""
     value = float(value)

@@ -7,8 +7,20 @@ fast; tests must not mutate them.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
+
+# One registration point for the Hypothesis profiles (the property files used
+# to each register their own, with import order picking the winner).  The
+# "repro" profile is the local default; "ci" additionally derandomises so the
+# property suite replays the exact same examples on every CI run.  Select with
+# the HYPOTHESIS_PROFILE environment variable.
+settings.register_profile("repro", max_examples=60, deadline=None)
+settings.register_profile("ci", max_examples=60, deadline=None, derandomize=True)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
 
 from repro.core.finder import SuRF
 from repro.core.query import RegionQuery

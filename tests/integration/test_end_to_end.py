@@ -1,5 +1,7 @@
 """Integration tests covering the full SuRF pipeline and method comparisons."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -115,6 +117,94 @@ class TestAggregatePipeline:
         result = finder.find_regions(query)
         assert result.optimization.feasible_fraction > 0.1
         assert compliance_rate(result.proposals, engine, query) > 0.5
+
+
+class TestOnlineServingConcurrency:
+    def test_batch_serving_racing_refresh_never_sees_a_half_swapped_model(self):
+        """Stress loop: refreshes hot-swap models while batches are in flight.
+
+        Every response must be *internally consistent*: all of its proposals
+        carry predictions from ONE model generation — never a mix of the
+        pre- and post-refresh surrogate.  The service guarantees this by
+        swapping the finder by reference (each run captures one snapshot)
+        instead of mutating fitted attributes in place.
+        """
+        from repro.online import QueryLog
+        from repro.serve.service import SuRFService
+
+        synthetic = make_synthetic_dataset(
+            statistic="density", dim=2, num_regions=1, num_points=3_000, random_state=21
+        )
+        engine = DataEngine(synthetic.dataset, synthetic.statistic)
+        finder = fast_surf(use_density_guidance=False).fit(
+            generate_workload(engine, 500, random_state=0)
+        )
+        service = SuRFService(finder, cache_size=0, query_log=QueryLog(capacity=50_000))
+        query = RegionQuery(threshold=synthetic.suggested_threshold(), direction="above")
+        variant = RegionQuery(threshold=query.threshold * 0.9, direction="above")
+
+        # Every surrogate generation ever served, appended before it goes live.
+        surrogates = [finder.surrogate_]
+        surrogates_lock = threading.Lock()
+        stop = threading.Event()
+        errors = []
+        checked = [0]
+
+        def consistent_with_one_generation(response) -> bool:
+            if not response.proposals:
+                return True
+            # The list is appended after a swap goes live, so a response from a
+            # brand-new generation may beat the bookkeeping by a moment; retry
+            # briefly and always include the currently-live surrogate.
+            import time as time_module
+
+            for _ in range(50):
+                with surrogates_lock:
+                    candidates = list(surrogates)
+                candidates.append(service.finder.surrogate_)
+                for surrogate in candidates:
+                    if all(
+                        proposal.predicted_value
+                        == surrogate.predict_vector(proposal.region.to_vector())
+                        for proposal in response.proposals
+                    ):
+                        return True
+                time_module.sleep(0.05)
+            return False
+
+        def hammer():
+            try:
+                while not stop.is_set():
+                    for response in service.find_regions_batch([query, variant, query]):
+                        if response.status == "rejected":
+                            continue
+                        assert consistent_with_one_generation(response), (
+                            "response mixes model generations"
+                        )
+                        checked[0] += 1
+            except BaseException as error:  # noqa: BLE001 - surfaced after join
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for round_index in range(4):
+                fresh = generate_workload(engine, 60, random_state=100 + round_index)
+                service.observe_many(list(fresh))
+                outcome = service.refresh()
+                assert outcome.mode in ("incremental", "full")
+                with surrogates_lock:
+                    surrogates.append(service.finder.surrogate_)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=60.0)
+
+        assert not errors, errors
+        assert not any(thread.is_alive() for thread in threads)
+        assert service.generation == 4
+        assert checked[0] > 0
 
 
 class TestRealDataPipelines:

@@ -22,7 +22,14 @@ def run_example(path: Path) -> subprocess.CompletedProcess:
 
 def test_examples_directory_has_expected_scripts():
     names = {path.name for path in EXAMPLE_SCRIPTS}
-    assert {"quickstart.py", "crime_hotspots.py", "activity_regions.py", "classification_boundaries.py"} <= names
+    assert {
+        "quickstart.py",
+        "crime_hotspots.py",
+        "activity_regions.py",
+        "classification_boundaries.py",
+        "serving.py",
+        "online.py",
+    } <= names
 
 
 @pytest.mark.parametrize("script", EXAMPLE_SCRIPTS, ids=lambda path: path.name)

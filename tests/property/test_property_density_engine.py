@@ -2,16 +2,13 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.data.dataset import Dataset
 from repro.data.engine import DataEngine
 from repro.data.regions import Region
 from repro.data.statistics import AverageStatistic, CountStatistic
 from repro.density.kde import GaussianKDE
-
-settings.register_profile("repro", max_examples=30, deadline=None)
-settings.load_profile("repro")
 
 _POINTS = np.random.default_rng(123).uniform(size=(800, 2))
 _KDE = GaussianKDE().fit(_POINTS)

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.ml.boosting import GradientBoostingRegressor
@@ -10,9 +10,6 @@ from repro.ml.metrics import mean_absolute_error, mean_squared_error, r2_score, 
 from repro.ml.model_selection import KFold, train_test_split
 from repro.ml.preprocessing import MinMaxScaler, StandardScaler
 from repro.ml.tree import DecisionTreeRegressor
-
-settings.register_profile("repro", max_examples=40, deadline=None)
-settings.load_profile("repro")
 
 finite_floats = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)
 

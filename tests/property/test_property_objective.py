@@ -2,13 +2,10 @@
 
 import numpy as np
 import pytest
-from hypothesis import assume, given, settings, strategies as st
+from hypothesis import assume, given, strategies as st
 
 from repro.core.objective import LogObjective, RatioObjective
 from repro.core.query import RegionQuery
-
-settings.register_profile("repro", max_examples=80, deadline=None)
-settings.load_profile("repro")
 
 finite = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False)
 positive_half = st.floats(min_value=1e-3, max_value=0.5, allow_nan=False, allow_infinity=False)

@@ -2,12 +2,9 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.data.regions import Region
-
-settings.register_profile("repro", max_examples=60, deadline=None)
-settings.load_profile("repro")
 
 
 def region_strategy(dim: int):
