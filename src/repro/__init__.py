@@ -10,7 +10,9 @@ The public API re-exports the pieces most users need:
   harvesting, :class:`repro.IncrementalTrainer` warm-start refreshes with a
   :class:`repro.DriftMonitor`-guarded full-refit fallback, and hot-swap
   serving via ``SuRFService.refresh`` / :class:`repro.RefreshPolicy`,
-* the data substrate (:mod:`repro.data`), surrogate layer
+* the data substrate (:mod:`repro.data`) with pluggable scan backends
+  (:mod:`repro.backends` — in-memory NumPy, out-of-core memory-mapped chunks,
+  SQLite, sharded parallel evaluation), the surrogate layer
   (:mod:`repro.surrogate`), baselines (:mod:`repro.baselines`) and the
   experiment runners reproducing each table/figure (:mod:`repro.experiments`).
 
@@ -27,6 +29,14 @@ Quickstart::
         print(proposal.region, proposal.predicted_value)
 """
 
+from repro.backends import (
+    ChunkedBackend,
+    DataBackend,
+    NumpyBackend,
+    ShardedBackend,
+    SQLiteBackend,
+    make_backend,
+)
 from repro.core.evaluation import average_iou, compliance_rate
 from repro.core.finder import RegionSearchResult, SuRF
 from repro.core.objective import LogObjective, RatioObjective
@@ -53,6 +63,12 @@ __all__ = [
     "Region",
     "Dataset",
     "DataEngine",
+    "DataBackend",
+    "NumpyBackend",
+    "ChunkedBackend",
+    "SQLiteBackend",
+    "ShardedBackend",
+    "make_backend",
     "RegionWorkload",
     "generate_workload",
     "SurrogateTrainer",

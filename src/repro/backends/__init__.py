@@ -1,0 +1,81 @@
+"""Pluggable data-engine backends (the paper's "back-end analytics system").
+
+The engine that answers ``f(x, l)`` exactly is swappable.  Every backend
+implements the :class:`~repro.backends.base.DataBackend` contract — scan
+masks, counts, row-order gathers, random access and batched statistic
+evaluation — and all of them return **bit-identical** statistics and masks on
+the same data (asserted by ``tests/property/test_property_backends.py``):
+
+========== =========================== =========== ========== =====================
+name       storage                     out-of-core parallel   statistic support
+========== =========================== =========== ========== =====================
+numpy      in-memory arrays            no          no         all (+ grid index)
+chunked    memory-mapped ``.npy``      yes         no         all
+sqlite     SQLite table (file/memory)  yes         no         all (SQL aggregates
+                                                              for count/sum/avg)
+sharded    any of the above, in shards inherits    yes        all (sufficient-stat
+                                                              merges + gather)
+========== =========================== =========== ========== =====================
+
+Select one through :class:`repro.data.engine.DataEngine`'s ``backend=``
+argument (string + ``backend_options`` dict, or a pre-built instance), or
+build one directly with :func:`make_backend`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.backends.base import MAX_MASK_ELEMENTS, DataBackend
+from repro.backends.chunked import ChunkedBackend
+from repro.backends.numpy_backend import NumpyBackend
+from repro.backends.sharded import ShardedBackend
+from repro.backends.sql import SQLiteBackend
+from repro.exceptions import ValidationError
+
+#: Registry of constructible backends, keyed by their ``name``.
+BACKEND_NAMES = ("numpy", "chunked", "sqlite", "sharded")
+
+
+def make_backend(
+    kind: str,
+    region_values: np.ndarray,
+    target_values: Optional[np.ndarray] = None,
+    **options,
+) -> DataBackend:
+    """Build a backend by name over in-memory arrays.
+
+    ``options`` are forwarded to the backend constructor: ``index`` (numpy),
+    ``directory``/``block_rows`` (chunked), ``path``/``exact_reductions``
+    (sqlite), ``num_shards``/``shard_backend``/``max_workers``/``merge``
+    plus per-shard options (sharded; storage locations like ``path`` or
+    ``directory`` are suffixed per shard so shards never collide).  For
+    ``.npy`` data already on disk, construct ``ChunkedBackend(region_path,
+    target_path)`` directly — nothing is materialised then.  Note that
+    ``sqlite`` always (re)loads the given arrays: an existing ``data`` table
+    at ``path`` is dropped and replaced.
+    """
+    key = str(kind).lower()
+    if key == "numpy":
+        return NumpyBackend(region_values, target_values, **options)
+    if key == "chunked":
+        return ChunkedBackend.from_arrays(region_values, target_values, **options)
+    if key == "sqlite":
+        return SQLiteBackend(region_values, target_values, **options)
+    if key == "sharded":
+        return ShardedBackend.from_arrays(region_values, target_values, **options)
+    raise ValidationError(f"unknown backend {kind!r}; available: {sorted(BACKEND_NAMES)}")
+
+
+__all__ = [
+    "DataBackend",
+    "NumpyBackend",
+    "ChunkedBackend",
+    "SQLiteBackend",
+    "ShardedBackend",
+    "make_backend",
+    "BACKEND_NAMES",
+    "MAX_MASK_ELEMENTS",
+]

@@ -1,0 +1,203 @@
+"""The :class:`DataBackend` interface — where region scans actually run.
+
+The paper treats the "back-end data/analytics system" as opaque: SuRF only
+needs something that can evaluate ``f(x, l)`` exactly.  This module pins down
+that contract so :class:`repro.data.engine.DataEngine` can delegate every scan
+to interchangeable storage engines (in-memory NumPy, memory-mapped chunks,
+SQLite, shards evaluated in parallel) while its public API — and, for the
+default backend, its bit-exact results — stay unchanged.
+
+A backend owns two things: the ``(N, d)`` matrix of *region columns* (the
+columns the hyper-rectangles constrain) and, optionally, the measured
+*target column* attribute statistics reduce.  Four primitives cover every
+engine operation:
+
+* :meth:`DataBackend.scan_masks` — exact boolean row masks (``(M, N)``),
+* :meth:`DataBackend.count` — per-region row counts without materialising masks,
+* :meth:`DataBackend.gather` — per-region target values **in row order**,
+* :meth:`DataBackend.take` — random-access rows over the region columns.
+
+:meth:`DataBackend.evaluate` composes them into batched statistic evaluation:
+count-only statistics are answered from counts alone; everything else gathers
+the selected target values in row order and reduces them with the statistic's
+array kernel, which is what keeps every backend bit-identical to the
+in-memory reference (see ``docs/architecture.md``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import ensure_rng
+
+#: Cap on the number of boolean mask entries materialised at once by a
+#: backend's mask-based scan paths (16M entries = 16 MB); larger batches are
+#: processed in region blocks of this size.
+MAX_MASK_ELEMENTS = 16_777_216
+
+
+class DataBackend(ABC):
+    """Abstract storage/scan engine over ``N`` rows of ``d`` region columns.
+
+    Subclasses declare their capabilities through three class attributes used
+    by the docs' capability matrix and by validation:
+
+    * ``name`` — registry identifier (``"numpy"``, ``"chunked"``, ...),
+    * ``out_of_core`` — whether the data may exceed RAM,
+    * ``parallel`` — whether scans run concurrently.
+    """
+
+    name: str = "abstract"
+    out_of_core: bool = False
+    parallel: bool = False
+
+    # ------------------------------------------------------------------ introspection
+    @property
+    @abstractmethod
+    def num_rows(self) -> int:
+        """Number of stored rows ``N``."""
+
+    @property
+    @abstractmethod
+    def region_dim(self) -> int:
+        """Number of region columns ``d``."""
+
+    @property
+    @abstractmethod
+    def has_target(self) -> bool:
+        """Whether a target column is stored (required for attribute statistics)."""
+
+    # ------------------------------------------------------------------ primitives
+    @abstractmethod
+    def scan_masks(self, lowers: np.ndarray, uppers: np.ndarray) -> np.ndarray:
+        """Exact boolean ``(M, N)`` matrix of rows inside each region.
+
+        ``lowers``/``uppers`` are validated ``(M, d)`` corner matrices.  Row
+        ``i`` of the result is ``True`` exactly where every region column lies
+        in ``[lowers[i], uppers[i]]`` (inclusive on both ends).
+        """
+
+    @abstractmethod
+    def count(self, lowers: np.ndarray, uppers: np.ndarray) -> np.ndarray:
+        """Per-region row counts, shape ``(M,)`` int64, without full masks."""
+
+    @abstractmethod
+    def gather(self, lowers: np.ndarray, uppers: np.ndarray) -> List[np.ndarray]:
+        """Per-region target values **in row order** (list of ``M`` float64 arrays).
+
+        Row order is part of the contract: float reductions are
+        summation-order dependent, so gathering in any other order would break
+        bit-identity with the in-memory reference.
+        """
+
+    @abstractmethod
+    def take(self, indices: np.ndarray) -> np.ndarray:
+        """Rows of the region-column matrix at ``indices``, in the given order."""
+
+    def close(self) -> None:
+        """Release held resources (files, connections).  Idempotent."""
+
+    # ------------------------------------------------------------------ derived operations
+    def evaluate(self, statistic, lowers: np.ndarray, uppers: np.ndarray) -> np.ndarray:
+        """Batched exact statistic evaluation over ``M`` regions.
+
+        Default template: counts for count-only statistics, gather + the
+        statistic's value kernel otherwise.  Subclasses override it only to
+        change *how* the rows are found (index pruning, SQL, shard merges) —
+        never what the reduction computes.
+        """
+        if statistic.count_only:
+            return statistic.compute_from_counts(self.count(lowers, uppers))
+        self._require_target(statistic)
+        return np.asarray(
+            [statistic.compute_from_values(values) for values in self.gather(lowers, uppers)],
+            dtype=np.float64,
+        )
+
+    def sample(self, size: int, random_state=None, replace: bool = False) -> np.ndarray:
+        """Uniformly sampled region-column rows, shape ``(size, d)``.
+
+        Draws indices exactly like :meth:`repro.data.dataset.Dataset.sample`
+        (one ``rng.choice`` call), so a backend-routed sample consumes the
+        same RNG stream as the in-memory path.
+        """
+        size = int(size)
+        if size <= 0:
+            raise ValidationError(f"sample size must be positive, got {size}")
+        if not replace and size > self.num_rows:
+            raise ValidationError(
+                f"cannot sample {size} rows without replacement from {self.num_rows}"
+            )
+        rng = ensure_rng(random_state)
+        indices = rng.choice(self.num_rows, size=size, replace=replace)
+        return self.take(indices)
+
+    # ------------------------------------------------------------------ helpers
+    def _require_target(self, statistic) -> None:
+        if not self.has_target:
+            raise ValidationError(
+                f"backend {self.name!r} stores no target column but statistic "
+                f"{statistic.name!r} needs one"
+            )
+
+    def _check_corners(self, lowers: np.ndarray, uppers: np.ndarray) -> tuple:
+        lowers = np.asarray(lowers, dtype=np.float64)
+        uppers = np.asarray(uppers, dtype=np.float64)
+        if lowers.ndim != 2 or lowers.shape != uppers.shape or lowers.shape[1] != self.region_dim:
+            raise ValidationError(
+                f"lowers/uppers must both have shape (M, {self.region_dim}), "
+                f"got {lowers.shape} and {uppers.shape}"
+            )
+        return lowers, uppers
+
+    def __enter__(self) -> "DataBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(num_rows={self.num_rows}, "
+            f"region_dim={self.region_dim}, has_target={self.has_target})"
+        )
+
+
+def block_mask_kernel(
+    columns: List[np.ndarray],
+    lowers: np.ndarray,
+    uppers: np.ndarray,
+    out: np.ndarray,
+) -> np.ndarray:
+    """Fill ``out`` with region masks via one broadcast comparison per dimension.
+
+    ``columns`` are the per-dimension contiguous value arrays of length ``B``
+    (a full column or one row block of it); ``lowers``/``uppers`` are the
+    ``(M, d)`` corners; ``out`` is the ``(M, B)`` boolean output.  The loop
+    order and comparison operators are exactly those of the pre-backend
+    ``DataEngine.region_masks``, blocked over regions so each ``(chunk, B)``
+    operand stays cache resident — every mask bit is identical to the scalar
+    ``lower <= value <= upper`` test.
+    """
+    num_regions, num_rows = out.shape
+    if num_regions == 0 or num_rows == 0:
+        return out
+    chunk = max(1, 262_144 // max(num_rows, 1))
+    band = np.empty((min(chunk, num_regions), num_rows), dtype=bool)
+    for start in range(0, num_regions, chunk):
+        stop = min(start + chunk, num_regions)
+        target = out[start:stop]
+        scratch = band[: stop - start]
+        np.greater_equal(columns[0], lowers[start:stop, 0, None], out=target)
+        np.less_equal(columns[0], uppers[start:stop, 0, None], out=scratch)
+        np.logical_and(target, scratch, out=target)
+        for axis in range(1, len(columns)):
+            np.greater_equal(columns[axis], lowers[start:stop, axis, None], out=scratch)
+            np.logical_and(target, scratch, out=target)
+            np.less_equal(columns[axis], uppers[start:stop, axis, None], out=scratch)
+            np.logical_and(target, scratch, out=target)
+    return out

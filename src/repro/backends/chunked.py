@@ -1,0 +1,207 @@
+"""Out-of-core backend: memory-mapped ``.npy`` storage, streaming block scans.
+
+Table I's contrast — SuRF flat in ``N`` while every data-backed method scans
+the engine — only bites when ``N`` exceeds RAM.  :class:`ChunkedBackend`
+makes that regime reachable: the region-column matrix (and optional target
+column) live in ``.npy`` files opened with ``numpy``'s memory mapping, and
+every scan streams over row blocks of at most ``block_rows`` rows, so peak
+memory is ``O(M · block_rows)`` booleans plus one row block of data — never
+``O(M · N)`` and never the full dataset.
+
+Bit-identity with :class:`~repro.backends.numpy_backend.NumpyBackend` holds
+because each block applies exactly the same broadcast comparisons to exactly
+the same values, counts are integer sums, and per-region gathers concatenate
+block slices in row order before the statistic's (single, final) reduction.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import weakref
+from typing import List, Optional
+
+import numpy as np
+
+from repro.backends.base import MAX_MASK_ELEMENTS, DataBackend, block_mask_kernel
+from repro.exceptions import ValidationError
+
+
+class ChunkedBackend(DataBackend):
+    """Streaming scans over memory-mapped ``.npy`` files.
+
+    Parameters
+    ----------
+    region_path:
+        ``.npy`` file holding the ``(N, d)`` region-column matrix.
+    target_path:
+        Optional ``.npy`` file holding the ``(N,)`` target column.
+    block_rows:
+        Rows loaded per streamed block (the out-of-core working set).
+    _cleanup_dir:
+        Internal — directory deleted when the backend is closed (set by
+        :meth:`from_arrays` for self-written temporaries).
+    """
+
+    name = "chunked"
+    out_of_core = True
+
+    def __init__(
+        self,
+        region_path,
+        target_path=None,
+        block_rows: int = 262_144,
+        _cleanup_dir=None,
+    ):
+        if int(block_rows) < 1:
+            raise ValidationError(f"block_rows must be >= 1, got {block_rows}")
+        self._block_rows = int(block_rows)
+        self._region = np.load(region_path, mmap_mode="r")
+        if self._region.ndim != 2 or self._region.shape[0] == 0:
+            raise ValidationError(
+                f"region file must hold a non-empty (N, d) matrix, got shape {self._region.shape}"
+            )
+        self._target = None
+        if target_path is not None:
+            self._target = np.load(target_path, mmap_mode="r")
+            if self._target.shape != (self._region.shape[0],):
+                raise ValidationError(
+                    f"target file must hold shape ({self._region.shape[0]},), "
+                    f"got {self._target.shape}"
+                )
+        self._finalizer = None
+        if _cleanup_dir is not None:
+            self._finalizer = weakref.finalize(
+                self, shutil.rmtree, str(_cleanup_dir), ignore_errors=True
+            )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        region_values: np.ndarray,
+        target_values: Optional[np.ndarray] = None,
+        directory=None,
+        block_rows: int = 262_144,
+    ) -> "ChunkedBackend":
+        """Spill in-memory arrays to ``.npy`` files and memory-map them back.
+
+        With ``directory=None`` the files go to a fresh temporary directory
+        that is deleted when the backend is closed (or garbage collected).
+        For data that already lives on disk, construct the backend directly
+        from the file paths instead — nothing is copied then.
+        """
+        region_values = np.ascontiguousarray(region_values, dtype=np.float64)
+        cleanup = None
+        if directory is None:
+            directory = tempfile.mkdtemp(prefix="repro-chunked-")
+            cleanup = directory
+        os.makedirs(directory, exist_ok=True)
+        region_path = os.path.join(str(directory), "region_columns.npy")
+        np.save(region_path, region_values)
+        target_path = None
+        if target_values is not None:
+            target_path = os.path.join(str(directory), "target_column.npy")
+            np.save(target_path, np.ascontiguousarray(target_values, dtype=np.float64))
+        return cls(region_path, target_path, block_rows=block_rows, _cleanup_dir=cleanup)
+
+    # ------------------------------------------------------------------ introspection
+    @property
+    def num_rows(self) -> int:
+        return self._region.shape[0]
+
+    @property
+    def region_dim(self) -> int:
+        return self._region.shape[1]
+
+    @property
+    def has_target(self) -> bool:
+        return self._target is not None
+
+    @property
+    def block_rows(self) -> int:
+        """Rows streamed per block."""
+        return self._block_rows
+
+    # ------------------------------------------------------------------ streaming core
+    def _iter_row_blocks(self, lowers: np.ndarray, uppers: np.ndarray, with_target: bool):
+        """Yield ``(row_start, masks, target_block)`` over streamed row blocks.
+
+        Each block is copied out of the memory map once, split into contiguous
+        per-dimension columns, and masked with the shared broadcast kernel —
+        the same comparisons the in-memory backend runs, in the same order.
+        """
+        num_regions = lowers.shape[0]
+        for row_start in range(0, self.num_rows, self._block_rows):
+            row_stop = min(row_start + self._block_rows, self.num_rows)
+            block = np.asarray(self._region[row_start:row_stop], dtype=np.float64)
+            columns = [np.ascontiguousarray(block[:, k]) for k in range(block.shape[1])]
+            masks = np.empty((num_regions, row_stop - row_start), dtype=bool)
+            block_mask_kernel(columns, lowers, uppers, masks)
+            target_block = None
+            if with_target:
+                target_block = np.asarray(self._target[row_start:row_stop], dtype=np.float64)
+            yield row_start, masks, target_block
+
+    # ------------------------------------------------------------------ primitives
+    def scan_masks(self, lowers: np.ndarray, uppers: np.ndarray) -> np.ndarray:
+        lowers, uppers = self._check_corners(lowers, uppers)
+        masks = np.empty((lowers.shape[0], self.num_rows), dtype=bool)
+        if lowers.shape[0] == 0:
+            return masks
+        for row_start, block_masks, _ in self._iter_row_blocks(lowers, uppers, with_target=False):
+            masks[:, row_start : row_start + block_masks.shape[1]] = block_masks
+        return masks
+
+    def count(self, lowers: np.ndarray, uppers: np.ndarray) -> np.ndarray:
+        lowers, uppers = self._check_corners(lowers, uppers)
+        counts = np.zeros(lowers.shape[0], dtype=np.int64)
+        for start, stop in self._region_blocks(lowers.shape[0]):
+            for _, block_masks, _ in self._iter_row_blocks(
+                lowers[start:stop], uppers[start:stop], with_target=False
+            ):
+                counts[start:stop] += block_masks.sum(axis=1, dtype=np.int64)
+        return counts
+
+    def gather(self, lowers: np.ndarray, uppers: np.ndarray) -> List[np.ndarray]:
+        lowers, uppers = self._check_corners(lowers, uppers)
+        if self._target is None:
+            raise ValidationError(
+                f"backend {self.name!r} stores no target column; gather is unavailable"
+            )
+        gathered: List[np.ndarray] = [None] * lowers.shape[0]  # type: ignore[list-item]
+        for start, stop in self._region_blocks(lowers.shape[0]):
+            pieces: List[List[np.ndarray]] = [[] for _ in range(stop - start)]
+            for _, block_masks, target_block in self._iter_row_blocks(
+                lowers[start:stop], uppers[start:stop], with_target=True
+            ):
+                for offset in range(stop - start):
+                    pieces[offset].append(target_block[block_masks[offset]])
+            for offset in range(stop - start):
+                # Block slices concatenate in row order, so the final array is
+                # exactly target[mask] of the in-memory path.
+                gathered[start + offset] = (
+                    np.concatenate(pieces[offset])
+                    if len(pieces[offset]) > 1
+                    else pieces[offset][0]
+                )
+        return gathered
+
+    def take(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        return np.asarray(self._region[indices], dtype=np.float64)
+
+    # ------------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Drop the memory maps and delete self-written temporary files."""
+        self._region = None
+        self._target = None
+        if self._finalizer is not None:
+            self._finalizer()
+
+    # ------------------------------------------------------------------ internals
+    def _region_blocks(self, num_regions: int):
+        """Region blocking that caps the per-step mask matrix at MAX_MASK_ELEMENTS."""
+        block = max(1, MAX_MASK_ELEMENTS // max(self._block_rows, 1))
+        for start in range(0, num_regions, block):
+            yield start, min(start + block, num_regions)

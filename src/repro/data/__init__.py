@@ -3,7 +3,9 @@
 This package plays the role of the "back-end data/analytics system" from the
 paper: it stores data vectors, evaluates region statistics ``y = f(x, l)``
 exactly, and generates the synthetic and real-world-like datasets used in the
-evaluation section.
+evaluation section.  The storage/scan engine behind :class:`DataEngine` is
+pluggable — see :mod:`repro.backends` for the out-of-core, SQL and sharded
+parallel implementations.
 """
 
 from repro.data.dataset import Dataset

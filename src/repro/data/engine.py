@@ -4,25 +4,31 @@ This is the component the paper identifies as the bottleneck: every exact
 region evaluation is a scan (or an index lookup) over the ``N`` data vectors.
 The engine also keeps a counter of how many evaluations it has served, which
 the experiments use to report work done by data-driven methods.
+
+Where the scan actually runs is pluggable (:mod:`repro.backends`): the engine
+resolves the statistic's region/target columns once and delegates every mask,
+count, gather and batched evaluation to a
+:class:`~repro.backends.base.DataBackend` — in-memory NumPy (default,
+bit-identical to the historical engine), memory-mapped chunks for data larger
+than RAM, SQLite with region predicates compiled to range ``WHERE`` clauses,
+or contiguous shards evaluated on a thread pool.  The public API (``evaluate``,
+``evaluate_batch``, ``region_masks``, ``statistic_sample``, the evaluation
+counter) is backend-independent.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Union
 
 import numpy as np
 
+from repro.backends import DataBackend, make_backend
+from repro.backends.base import MAX_MASK_ELEMENTS  # re-exported for compatibility
 from repro.data.dataset import Dataset
 from repro.data.index import GridIndex
 from repro.data.regions import Region
-from repro.data.statistics import CountStatistic, StatisticSpec
+from repro.data.statistics import StatisticSpec
 from repro.exceptions import ValidationError
-
-
-#: Cap on the number of boolean mask entries materialised at once by
-#: :meth:`DataEngine.evaluate_batch` (16M entries = 16 MB); larger batches are
-#: processed in row blocks of this size.
-MAX_MASK_ELEMENTS = 16_777_216
 
 
 class DataEngine:
@@ -35,11 +41,22 @@ class DataEngine:
     statistic:
         The statistic ``f`` to evaluate for each region.
     use_index:
-        Build a :class:`GridIndex` over the region columns to prune scans.  The
-        index is only used for pure count statistics where candidate pruning is
-        a clear win; attribute statistics fall back to full masks.
+        Build a :class:`GridIndex` over the region columns to prune scans
+        (``"numpy"`` backend only).  Pruning covers every statistic: counts
+        come from the candidate sets directly, attribute statistics gather the
+        target attribute over the sorted candidates — no full mask is built.
     cells_per_dim:
         Grid resolution for the optional index.
+    backend:
+        Which :mod:`repro.backends` engine runs the scans: a name from
+        :data:`repro.backends.BACKEND_NAMES` (``"numpy"`` default,
+        ``"chunked"``, ``"sqlite"``, ``"sharded"``) or a pre-built
+        :class:`~repro.backends.base.DataBackend` instance (which must cover
+        the dataset's rows — use this for data that already lives on disk).
+    backend_options:
+        Keyword options forwarded to the backend factory when ``backend`` is
+        a name (e.g. ``{"num_shards": 4}`` for ``"sharded"``, or
+        ``{"block_rows": 100_000}`` for ``"chunked"``).
     """
 
     def __init__(
@@ -48,6 +65,8 @@ class DataEngine:
         statistic: StatisticSpec,
         use_index: bool = False,
         cells_per_dim: int = 16,
+        backend: Union[str, DataBackend, None] = None,
+        backend_options: Optional[dict] = None,
     ):
         self._dataset = dataset
         self._statistic = statistic
@@ -55,16 +74,56 @@ class DataEngine:
         if not self._region_columns:
             raise ValidationError("statistic leaves no columns to define regions over")
         self._region_positions = [dataset.column_position(c) for c in self._region_columns]
-        self._region_values = dataset.values[:, self._region_positions]
-        # Contiguous per-dimension columns for the batched mask kernel.
-        self._region_column_values = [
-            np.ascontiguousarray(self._region_values[:, k])
-            for k in range(self._region_values.shape[1])
-        ]
         self._evaluations = 0
-        self._index: Optional[GridIndex] = None
+        self._backend = self._resolve_backend(
+            backend, backend_options, use_index, int(cells_per_dim)
+        )
+
+    def _resolve_backend(
+        self,
+        backend: Union[str, DataBackend, None],
+        backend_options: Optional[dict],
+        use_index: bool,
+        cells_per_dim: int,
+    ) -> DataBackend:
+        if isinstance(backend, DataBackend):
+            if backend_options:
+                raise ValidationError("backend_options only apply when backend is a name")
+            if use_index:
+                raise ValidationError(
+                    "use_index builds the engine's own NumpyBackend; attach an index "
+                    "to the pre-built backend instead"
+                )
+            if backend.num_rows != self._dataset.num_rows:
+                raise ValidationError(
+                    f"backend holds {backend.num_rows} rows but the dataset has "
+                    f"{self._dataset.num_rows}"
+                )
+            if backend.region_dim != len(self._region_columns):
+                raise ValidationError(
+                    f"backend has region_dim {backend.region_dim} but the statistic "
+                    f"constrains {len(self._region_columns)} columns"
+                )
+            if not self._statistic.count_only and not backend.has_target:
+                raise ValidationError(
+                    f"statistic {self._statistic.name!r} needs a target column but the "
+                    "backend stores none"
+                )
+            return backend
+        kind = "numpy" if backend is None else str(backend)
+        options = dict(backend_options or {})
+        # Columns are materialised once here to build the backend's own
+        # storage; for data already on disk, pass a pre-built backend instead.
+        region_values = self._dataset.values[:, self._region_positions]
+        target_position = self._statistic.target_position(self._dataset)
+        target_values = None if target_position is None else self._dataset.values[:, target_position]
         if use_index:
-            self._index = GridIndex(self._region_values, cells_per_dim=cells_per_dim)
+            if kind != "numpy":
+                raise ValidationError(
+                    f"use_index is only supported by the 'numpy' backend, got {kind!r}"
+                )
+            options.setdefault("index", GridIndex(region_values, cells_per_dim=cells_per_dim))
+        return make_backend(kind, region_values, target_values, **options)
 
     # ------------------------------------------------------------------ introspection
     @property
@@ -76,6 +135,11 @@ class DataEngine:
     def statistic(self) -> StatisticSpec:
         """The statistic specification evaluated by this engine."""
         return self._statistic
+
+    @property
+    def backend(self) -> DataBackend:
+        """The :class:`~repro.backends.base.DataBackend` serving the scans."""
+        return self._backend
 
     @property
     def region_columns(self) -> List[str]:
@@ -100,6 +164,10 @@ class DataEngine:
         """Bounding box of the data over the region columns."""
         return self._dataset.bounding_box(columns=self._region_columns, padding=padding)
 
+    def close(self) -> None:
+        """Release backend resources (memory maps, database connections)."""
+        self._backend.close()
+
     # ------------------------------------------------------------------ evaluation
     def region_mask(self, region: Region) -> np.ndarray:
         """Boolean mask of dataset rows inside ``region`` (over region columns)."""
@@ -113,11 +181,11 @@ class DataEngine:
         """Boolean ``(M, N)`` matrix of dataset rows inside each of ``M`` regions.
 
         ``lowers``/``uppers`` are ``(M, d)`` corner matrices over the region
-        columns.  Without an index the masks are computed by one broadcast
-        comparison per dimension, blocked over regions so the working set stays
-        cache resident; with a :class:`GridIndex` the candidate rows come from
-        :meth:`GridIndex.query_many`.  Either way the masks are exactly those
-        of :meth:`region_mask` row by row.
+        columns.  The masks come from the backend's exact scan
+        (:meth:`~repro.backends.base.DataBackend.scan_masks`): one broadcast
+        comparison per dimension for array-backed storage, candidate pruning
+        for an indexed backend, a ``WHERE`` clause for SQL — in every case
+        exactly the masks of :meth:`region_mask` row by row.
         """
         lowers = np.asarray(lowers, dtype=np.float64)
         uppers = np.asarray(uppers, dtype=np.float64)
@@ -126,34 +194,7 @@ class DataEngine:
                 f"lowers/uppers must both have shape (M, {self.region_dim}), "
                 f"got {lowers.shape} and {uppers.shape}"
             )
-        num_regions = lowers.shape[0]
-        num_rows = self._dataset.num_rows
-        masks = np.empty((num_regions, num_rows), dtype=bool)
-        if num_regions == 0:
-            return masks
-        if self._index is not None:
-            masks[:] = False
-            for row, indices in enumerate(self._index.query_many(lowers, uppers)):
-                masks[row, indices] = True
-            return masks
-        columns = self._region_column_values
-        # Block over regions so each (chunk, N) operand fits in L2 cache; the
-        # scratch buffer is reused across chunks and dimensions.
-        chunk = max(1, 262_144 // max(num_rows, 1))
-        band = np.empty((min(chunk, num_regions), num_rows), dtype=bool)
-        for start in range(0, num_regions, chunk):
-            stop = min(start + chunk, num_regions)
-            out = masks[start:stop]
-            scratch = band[: stop - start]
-            np.greater_equal(columns[0], lowers[start:stop, 0, None], out=out)
-            np.less_equal(columns[0], uppers[start:stop, 0, None], out=scratch)
-            np.logical_and(out, scratch, out=out)
-            for axis in range(1, len(columns)):
-                np.greater_equal(columns[axis], lowers[start:stop, axis, None], out=scratch)
-                np.logical_and(out, scratch, out=out)
-                np.less_equal(columns[axis], uppers[start:stop, axis, None], out=scratch)
-                np.logical_and(out, scratch, out=out)
-        return masks
+        return self._backend.scan_masks(lowers, uppers)
 
     def evaluate(self, region: Region) -> float:
         """Evaluate ``y = f(x, l)`` exactly for ``region``.
@@ -173,19 +214,21 @@ class DataEngine:
     def evaluate_batch(self, vectors: np.ndarray) -> np.ndarray:
         """Evaluate ``M`` regions encoded as an ``(M, 2d)`` matrix of ``[x, l]`` vectors.
 
-        This is the data layer's hot path: all ``M`` region masks are computed
-        by one broadcast per dimension (see :meth:`region_masks`) and the
-        statistic is reduced per region by
-        :meth:`~repro.data.statistics.StatisticSpec.compute_batch`.  For every
-        row the scalar path accepts, the result is identical to
-        :meth:`evaluate_vector`, and the evaluation counter advances by ``M``
-        either way.  One deliberate divergence: rows whose half lengths are
-        non-positive (which :class:`~repro.data.regions.Region` — and hence
-        the scalar path — rejects with a ``ValidationError``) are accepted
-        here as empty regions and yield the statistic's ``empty_value``.
+        This is the data layer's hot path: the region corners are handed to
+        the backend's batched evaluation
+        (:meth:`~repro.backends.base.DataBackend.evaluate`), which finds the
+        selected rows however its storage dictates and reduces them with the
+        statistic's own kernels.  For every row the scalar path accepts, the
+        result is identical to :meth:`evaluate_vector` — on every backend —
+        and the evaluation counter advances by ``M`` either way.  One
+        deliberate divergence: rows whose half lengths are non-positive
+        (which :class:`~repro.data.regions.Region` — and hence the scalar
+        path — rejects with a ``ValidationError``) are accepted here as empty
+        regions and yield the statistic's ``empty_value``.
 
-        Mask matrices are produced and reduced in bounded-size row blocks, so
-        peak memory stays O(block * N) regardless of ``M``.
+        Peak memory is backend-bounded: the in-memory backend blocks mask
+        matrices at ``MAX_MASK_ELEMENTS``, the chunked backend streams row
+        blocks, SQL materialises no masks at all.
         """
         vectors = np.asarray(vectors, dtype=np.float64)
         if vectors.ndim != 2 or vectors.shape[1] != 2 * self.region_dim:
@@ -198,21 +241,16 @@ class DataEngine:
         self._evaluations += num_regions
         centers = vectors[:, : self.region_dim]
         half_lengths = vectors[:, self.region_dim :]
-        lowers = centers - half_lengths
-        uppers = centers + half_lengths
         # A zero half length makes lower == upper, which the corner-based mask
         # would treat as a degenerate slab that can still catch coinciding
         # points; the contract above says such rows are empty regions.
         degenerate = np.any(half_lengths <= 0, axis=1)
-        # Cap the materialised mask matrix (bools) at MAX_MASK_ELEMENTS.
-        block = max(1, MAX_MASK_ELEMENTS // max(self._dataset.num_rows, 1))
-        values = np.empty(num_regions, dtype=np.float64)
-        for start in range(0, num_regions, block):
-            stop = min(start + block, num_regions)
-            masks = self.region_masks(lowers[start:stop], uppers[start:stop])
-            if degenerate[start:stop].any():
-                masks[degenerate[start:stop]] = False
-            values[start:stop] = self._statistic.compute_batch(self._dataset, masks)
+        values = np.full(num_regions, self._statistic.empty_value, dtype=np.float64)
+        live = ~degenerate
+        if live.any():
+            lowers = centers[live] - half_lengths[live]
+            uppers = centers[live] + half_lengths[live]
+            values[live] = self._backend.evaluate(self._statistic, lowers, uppers)
         return values
 
     def evaluate_many(self, regions: Iterable[Region]) -> np.ndarray:
@@ -227,7 +265,26 @@ class DataEngine:
 
     def support(self, region: Region) -> int:
         """Number of data points inside ``region`` regardless of the statistic."""
-        return int(np.count_nonzero(self.region_mask(region)))
+        if region.dim != self.region_dim:
+            raise ValidationError(
+                f"region has dimensionality {region.dim}, engine expects {self.region_dim}"
+            )
+        return int(self._backend.count(region.lower[None, :], region.upper[None, :])[0])
+
+    # ------------------------------------------------------------------ sampling
+    def sample_region_points(
+        self, size: int, random_state=None, replace: bool = False
+    ) -> np.ndarray:
+        """Uniformly sampled data rows over the region columns, shape ``(size, d)``.
+
+        Routed through the backend's random access
+        (:meth:`~repro.backends.base.DataBackend.take`), so out-of-core and
+        SQL-resident engines sample without loading the dataset; the index
+        draw matches :meth:`Dataset.sample`, making the result bit-identical
+        to ``dataset.sample(...).select_columns(region_columns).values`` for
+        the same seed.
+        """
+        return self._backend.sample(size, random_state=random_state, replace=replace)
 
     # ------------------------------------------------------------------ statistic distribution
     def statistic_sample(
@@ -242,6 +299,9 @@ class DataEngine:
         The paper uses the empirical CDF of this sample to pick meaningful
         thresholds (e.g. the third quartile ``Q3`` in the Crimes experiment) and
         to reason about the probability that a request is satisfiable (Eq. 5).
+        The evaluations run through the backend's chunked scan path, so the
+        sample never materialises a full ``L x N`` mask block — out-of-core
+        backends stream it in bounded row blocks.
         """
         from repro.data.regions import random_region
         from repro.utils.rng import ensure_rng

@@ -34,9 +34,25 @@ def make_dataset(
     return make_synthetic_dataset(config)
 
 
-def build_engine(synthetic: SyntheticDataset, use_index: bool = False) -> DataEngine:
-    """Back-end engine evaluating the dataset's statistic exactly."""
-    return DataEngine(synthetic.dataset, synthetic.statistic, use_index=use_index)
+def build_engine(
+    synthetic: SyntheticDataset,
+    use_index: bool = False,
+    backend: Optional[str] = None,
+    backend_options: Optional[dict] = None,
+) -> DataEngine:
+    """Back-end engine evaluating the dataset's statistic exactly.
+
+    ``backend``/``backend_options`` select the :mod:`repro.backends` engine the
+    scans run on (``None`` keeps the in-memory default); every backend returns
+    bit-identical statistics, so experiment series do not depend on the choice.
+    """
+    return DataEngine(
+        synthetic.dataset,
+        synthetic.statistic,
+        use_index=use_index,
+        backend=backend,
+        backend_options=backend_options,
+    )
 
 
 def workload_size_for_dim(scale: ExperimentScale, dim: int) -> int:
@@ -75,11 +91,9 @@ def fit_surf(
     )
     workload = generate_workload(engine, num_evaluations, random_state=random_state)
     sample_size = min(1_000, engine.dataset.num_rows)
-    data_sample = (
-        engine.dataset.sample(sample_size, random_state=random_state)
-        .select_columns(engine.region_columns)
-        .values
-    )
+    # Routed through the engine's backend (bit-identical to sampling the
+    # dataset directly), so out-of-core backends never load the full table.
+    data_sample = engine.sample_region_points(sample_size, random_state=random_state)
     finder.fit(workload, data_sample=data_sample)
     return finder, num_evaluations
 

@@ -10,7 +10,7 @@ checks how many proposals land on a planted hot-spot.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -24,11 +24,24 @@ from repro.experiments.config import ExperimentScale, SMALL, get_scale
 from repro.surrogate.workload import generate_workload
 
 
-def run(scale: ExperimentScale = SMALL, random_state: int = 5) -> Dict:
-    """Run the Crimes qualitative experiment and return its summary metrics."""
+def run(
+    scale: ExperimentScale = SMALL,
+    random_state: int = 5,
+    backend: Optional[str] = None,
+    backend_options: Optional[Dict] = None,
+) -> Dict:
+    """Run the Crimes qualitative experiment and return its summary metrics.
+
+    ``backend``/``backend_options`` choose the :mod:`repro.backends` engine
+    the workload generation, thresholding sample and compliance checks scan;
+    all backends are bit-identical, so the reported metrics do not depend on
+    the choice.
+    """
     scale = get_scale(scale)
     crimes = make_crimes_like(num_points=max(scale.num_points, 5_000), random_state=random_state)
-    engine = DataEngine(crimes, CountStatistic())
+    engine = DataEngine(
+        crimes, CountStatistic(), backend=backend, backend_options=backend_options
+    )
 
     # Threshold: third quartile of the statistic over random neighbourhood-sized
     # regions (the paper's y_R = Q3 protocol).
@@ -41,7 +54,8 @@ def run(scale: ExperimentScale = SMALL, random_state: int = 5) -> Dict:
 
     hotspots = crimes_hotspot_regions()
     hotspot_iou = match_to_ground_truth(result.proposals, hotspots)
-    return {
+    summary = {
+        "backend": engine.backend.name,
         "threshold": threshold,
         "workload_size": workload_size,
         "num_proposals": result.num_regions,
@@ -51,3 +65,5 @@ def run(scale: ExperimentScale = SMALL, random_state: int = 5) -> Dict:
         "mean_hotspot_iou": float(np.mean(hotspot_iou)) if hotspot_iou else 0.0,
         "elapsed_seconds": result.elapsed_seconds,
     }
+    engine.close()
+    return summary

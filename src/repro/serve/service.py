@@ -172,7 +172,12 @@ class SuRFService:
         When both it and ``query_log`` are set, every fresh GSO run's proposed
         regions are evaluated *exactly* and the resulting ``([x, l], y)``
         pairs harvested into the log — the serve→learn loop the paper's
-        "pairs harvested from the query log" implies.  This is the one
+        "pairs harvested from the query log" implies.  The engine may run on
+        any :mod:`repro.backends` backend — ground-truthing against
+        out-of-core or SQL-resident data is exactly the workload those
+        backends exist for; every backend is thread-safe under the service's
+        worker pool (the sharded backend additionally fans each evaluation
+        out over its own shard pool).  This is the one
         deliberate exception to "no data access at query time": it is opt-in,
         feeds only the log (responses still report surrogate predictions), and
         it runs synchronously inside the GSO run, so every *cold* response

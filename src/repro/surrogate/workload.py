@@ -128,7 +128,11 @@ def generate_workload(
     Parameters
     ----------
     engine:
-        The back-end system that evaluates the true statistic.
+        The back-end system that evaluates the true statistic.  Any
+        :mod:`repro.backends` backend works here unchanged (evaluation goes
+        through ``engine.evaluate_many``), and all backends return
+        bit-identical workloads — so surrogates can be trained against data
+        that lives out of core, in SQLite or across shards.
     num_evaluations:
         How many region → statistic pairs to produce.
     min_fraction / max_fraction:

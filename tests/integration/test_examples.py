@@ -29,6 +29,7 @@ def test_examples_directory_has_expected_scripts():
         "classification_boundaries.py",
         "serving.py",
         "online.py",
+        "backends.py",
     } <= names
 
 

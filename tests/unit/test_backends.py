@@ -1,0 +1,428 @@
+"""Unit tests for the pluggable data-engine backends (repro.backends)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    BACKEND_NAMES,
+    ChunkedBackend,
+    DataBackend,
+    NumpyBackend,
+    ShardedBackend,
+    SQLiteBackend,
+    make_backend,
+)
+from repro.data.dataset import Dataset
+from repro.data.engine import DataEngine
+from repro.data.index import GridIndex
+from repro.data.regions import Region
+from repro.data.statistics import (
+    AverageStatistic,
+    CountStatistic,
+    MedianStatistic,
+    RatioStatistic,
+    SumStatistic,
+    VarianceStatistic,
+)
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def arrays():
+    rng = np.random.default_rng(5)
+    region = rng.uniform(-2.0, 2.0, size=(600, 2))
+    target = rng.normal(size=600)
+    return region, target
+
+
+@pytest.fixture(scope="module")
+def corners():
+    lowers = np.array([[-1.0, -1.0], [0.0, -2.0], [5.0, 5.0], [-2.0, 0.5]])
+    uppers = np.array([[1.0, 1.0], [2.0, 2.0], [6.0, 6.0], [2.0, 0.5001]])
+    return lowers, uppers
+
+
+def reference_stats(region, target, lowers, uppers, statistic):
+    """Direct NumPy reference: full masks + the statistic's scalar kernel."""
+    masks = np.all(
+        (region[None, :, :] >= lowers[:, None, :]) & (region[None, :, :] <= uppers[:, None, :]),
+        axis=2,
+    )
+    if statistic.count_only:
+        return masks, masks.sum(axis=1).astype(np.float64)
+    values = np.asarray(
+        [statistic.compute_from_values(target[mask]) for mask in masks], dtype=np.float64
+    )
+    return masks, values
+
+
+def all_backends(region, target):
+    return [
+        NumpyBackend(region, target),
+        NumpyBackend(region, target, index=GridIndex(region, cells_per_dim=6)),
+        ChunkedBackend.from_arrays(region, target, block_rows=113),
+        SQLiteBackend(region, target),
+        ShardedBackend.from_arrays(region, target, num_shards=3, max_workers=1),
+        ShardedBackend.from_arrays(region, target, num_shards=4, max_workers=2),
+    ]
+
+
+STATISTICS = [
+    CountStatistic(),
+    AverageStatistic("t"),
+    SumStatistic("t"),
+    VarianceStatistic("t"),
+    MedianStatistic("t"),
+    RatioStatistic("t", 0.25),
+]
+
+
+class TestBackendEquivalence:
+    def test_masks_counts_and_statistics_match_reference(self, arrays, corners):
+        region, target = arrays
+        lowers, uppers = corners
+        for backend in all_backends(region, target):
+            with backend:
+                masks, _ = reference_stats(region, target, lowers, uppers, CountStatistic())
+                assert np.array_equal(backend.scan_masks(lowers, uppers), masks), backend.name
+                assert np.array_equal(
+                    backend.count(lowers, uppers), masks.sum(axis=1).astype(np.int64)
+                )
+                for statistic in STATISTICS:
+                    _, expected = reference_stats(region, target, lowers, uppers, statistic)
+                    got = backend.evaluate(statistic, lowers, uppers)
+                    assert np.array_equal(got, expected), (backend.name, statistic.name)
+
+    def test_gather_preserves_row_order(self, arrays, corners):
+        region, target = arrays
+        lowers, uppers = corners
+        masks, _ = reference_stats(region, target, lowers, uppers, CountStatistic())
+        for backend in all_backends(region, target):
+            with backend:
+                for row, values in enumerate(backend.gather(lowers, uppers)):
+                    assert np.array_equal(values, target[masks[row]]), backend.name
+
+    def test_take_and_sample_match_in_memory(self, arrays):
+        region, target = arrays
+        indices = np.array([5, 0, 599, 300, 5])
+        for backend in all_backends(region, target):
+            with backend:
+                assert np.array_equal(backend.take(indices), region[indices]), backend.name
+                assert np.array_equal(
+                    backend.sample(7, random_state=3), region[np.random.default_rng(3).choice(600, 7, replace=False)]
+                )
+
+    def test_zero_regions(self, arrays):
+        region, target = arrays
+        empty = np.empty((0, 2))
+        for backend in all_backends(region, target):
+            with backend:
+                assert backend.scan_masks(empty, empty).shape == (0, 600)
+                assert backend.count(empty, empty).shape == (0,)
+                assert backend.evaluate(CountStatistic(), empty, empty).shape == (0,)
+
+
+class TestBackendValidation:
+    def test_factory_rejects_unknown_backend(self, arrays):
+        with pytest.raises(ValidationError, match="unknown backend"):
+            make_backend("parquet", arrays[0])
+
+    def test_factory_builds_every_registered_name(self, arrays):
+        region, target = arrays
+        for name in BACKEND_NAMES:
+            backend = make_backend(name, region, target)
+            assert isinstance(backend, DataBackend)
+            assert backend.name == name
+            assert backend.num_rows == 600 and backend.region_dim == 2
+            backend.close()
+
+    def test_corner_shape_mismatch_rejected(self, arrays):
+        backend = NumpyBackend(*arrays)
+        with pytest.raises(ValidationError, match="lowers/uppers"):
+            backend.count(np.zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_gather_without_target_rejected(self, arrays):
+        for name in BACKEND_NAMES:
+            backend = make_backend(name, arrays[0], None)
+            with pytest.raises(ValidationError, match="target"):
+                backend.gather(np.zeros((1, 2)), np.ones((1, 2)))
+            with pytest.raises(ValidationError, match="target"):
+                backend.evaluate(AverageStatistic("t"), np.zeros((1, 2)), np.ones((1, 2)))
+            backend.close()
+
+    def test_empty_region_values_rejected(self):
+        for name in BACKEND_NAMES:
+            with pytest.raises(ValidationError):
+                make_backend(name, np.empty((0, 2)))
+
+    def test_target_shape_mismatch_rejected(self, arrays):
+        for name in BACKEND_NAMES:
+            with pytest.raises(ValidationError):
+                make_backend(name, arrays[0], np.zeros(3))
+
+    def test_bad_sample_sizes_rejected(self, arrays):
+        backend = NumpyBackend(*arrays)
+        with pytest.raises(ValidationError):
+            backend.sample(0)
+        with pytest.raises(ValidationError):
+            backend.sample(601)
+
+
+class TestNumpyBackend:
+    def test_index_must_cover_rows(self, arrays):
+        region, target = arrays
+        with pytest.raises(ValidationError, match="index does not cover"):
+            NumpyBackend(region, target, index=GridIndex(region[:10]))
+
+    def test_indexed_attribute_statistics_prune_without_full_masks(self, arrays, corners):
+        """The count-only restriction is lifted: pruning serves attribute stats too."""
+        region, target = arrays
+        lowers, uppers = corners
+        plain = NumpyBackend(region, target)
+        indexed = NumpyBackend(region, target, index=GridIndex(region, cells_per_dim=5))
+        for statistic in STATISTICS:
+            assert np.array_equal(
+                plain.evaluate(statistic, lowers, uppers),
+                indexed.evaluate(statistic, lowers, uppers),
+            ), statistic.name
+
+
+class TestChunkedBackend:
+    def test_roundtrip_through_files(self, arrays, tmp_path):
+        region, target = arrays
+        backend = ChunkedBackend.from_arrays(region, target, directory=tmp_path, block_rows=64)
+        assert (tmp_path / "region_columns.npy").exists()
+        assert backend.out_of_core and backend.block_rows == 64
+        reopened = ChunkedBackend(
+            tmp_path / "region_columns.npy", tmp_path / "target_column.npy", block_rows=50
+        )
+        lowers = np.array([[-0.5, -0.5]])
+        uppers = np.array([[0.5, 0.5]])
+        assert np.array_equal(
+            backend.evaluate(AverageStatistic("t"), lowers, uppers),
+            reopened.evaluate(AverageStatistic("t"), lowers, uppers),
+        )
+        backend.close()
+        reopened.close()
+        # Explicit-directory files are caller-owned and survive close().
+        assert (tmp_path / "region_columns.npy").exists()
+
+    def test_temporary_directory_removed_on_close(self, arrays):
+        backend = ChunkedBackend.from_arrays(arrays[0], block_rows=100)
+        directory = os.path.dirname(backend._region.filename)
+        assert os.path.isdir(directory)
+        backend.close()
+        assert not os.path.isdir(directory)
+
+    def test_invalid_block_rows(self, arrays):
+        with pytest.raises(ValidationError):
+            ChunkedBackend.from_arrays(arrays[0], block_rows=0)
+
+
+class TestSQLiteBackend:
+    def test_on_disk_database(self, arrays, tmp_path):
+        region, target = arrays
+        backend = SQLiteBackend(region, target, path=tmp_path / "data.db")
+        assert (tmp_path / "data.db").exists()
+        assert backend.count(np.array([[-2.0, -2.0]]), np.array([[2.0, 2.0]]))[0] == 600
+        backend.close()
+
+    def test_sql_aggregates_match_numpy_closely(self, arrays, corners):
+        region, target = arrays
+        lowers, uppers = corners
+        exact = SQLiteBackend(region, target, exact_reductions=True)
+        fast = SQLiteBackend(region, target, exact_reductions=False)
+        for statistic in (SumStatistic("t"), AverageStatistic("t")):
+            a = exact.evaluate(statistic, lowers, uppers)
+            b = fast.evaluate(statistic, lowers, uppers)
+            np.testing.assert_allclose(a, b, rtol=1e-12)
+        exact.close()
+        fast.close()
+
+    def test_nan_data_rejected(self):
+        bad = np.array([[0.0, np.nan]])
+        with pytest.raises(ValidationError, match="finite"):
+            SQLiteBackend(bad)
+
+    def test_take_out_of_range_rejected(self, arrays):
+        backend = SQLiteBackend(arrays[0])
+        with pytest.raises(ValidationError, match="out of range"):
+            backend.take(np.array([600]))
+        backend.close()
+
+
+class TestShardedBackend:
+    def test_requires_consistent_shards(self, arrays):
+        region, target = arrays
+        with pytest.raises(ValidationError, match="at least one shard"):
+            ShardedBackend([])
+        with pytest.raises(ValidationError, match="region_dim"):
+            ShardedBackend([NumpyBackend(region), NumpyBackend(region[:, :1])])
+        with pytest.raises(ValidationError, match="target"):
+            ShardedBackend([NumpyBackend(region, target), NumpyBackend(region)])
+        with pytest.raises(ValidationError, match="merge"):
+            ShardedBackend([NumpyBackend(region)], merge="median")
+        with pytest.raises(ValidationError, match="max_workers"):
+            ShardedBackend([NumpyBackend(region)], max_workers=0)
+
+    def test_heterogeneous_shards_compose(self, arrays, corners):
+        """A sharded backend over mixed storage kinds still matches the reference."""
+        region, target = arrays
+        lowers, uppers = corners
+        shards = [
+            NumpyBackend(region[:200], target[:200]),
+            SQLiteBackend(region[200:400], target[200:400]),
+            ChunkedBackend.from_arrays(region[400:], target[400:], block_rows=37),
+        ]
+        backend = ShardedBackend(shards, max_workers=2)
+        for statistic in STATISTICS:
+            _, expected = reference_stats(region, target, lowers, uppers, statistic)
+            assert np.array_equal(backend.evaluate(statistic, lowers, uppers), expected)
+        backend.close()
+
+    def test_stats_merge_mode_is_close_for_float_statistics(self, arrays, corners):
+        region, target = arrays
+        lowers, uppers = corners
+        fast = ShardedBackend.from_arrays(region, target, num_shards=3, merge="stats", max_workers=1)
+        for statistic in (SumStatistic("t"), AverageStatistic("t"), VarianceStatistic("t")):
+            _, expected = reference_stats(region, target, lowers, uppers, statistic)
+            np.testing.assert_allclose(
+                fast.evaluate(statistic, lowers, uppers), expected, rtol=1e-10
+            )
+        # Integer-exact decompositions and gathered medians stay bit-identical
+        # even in stats mode.
+        for statistic in (CountStatistic(), RatioStatistic("t", 0.25), MedianStatistic("t")):
+            _, expected = reference_stats(region, target, lowers, uppers, statistic)
+            assert np.array_equal(fast.evaluate(statistic, lowers, uppers), expected)
+        fast.close()
+
+    def test_shard_storage_locations_do_not_collide(self, tmp_path):
+        """Each sqlite/chunked shard must get its own storage target."""
+        rng = np.random.default_rng(1)
+        region = rng.uniform(size=(64, 2))
+        lowers, uppers = np.array([[0.0, 0.0]]), np.array([[1.0, 1.0]])
+        for shard_backend, options in (
+            ("sqlite", {"path": tmp_path / "shards.db"}),
+            ("chunked", {"directory": tmp_path / "chunks"}),
+        ):
+            backend = ShardedBackend.from_arrays(
+                region, num_shards=2, shard_backend=shard_backend, max_workers=1, **options
+            )
+            # With a shared storage target only the last shard's rows survive.
+            assert backend.count(lowers, uppers)[0] == 64, shard_backend
+            backend.close()
+
+    def test_take_rejects_out_of_range_indices(self, arrays):
+        backend = ShardedBackend.from_arrays(arrays[0], num_shards=3, max_workers=1)
+        with pytest.raises(ValidationError, match="row indices"):
+            backend.take(np.array([600]))
+        with pytest.raises(ValidationError, match="row indices"):
+            backend.take(np.array([-601]))
+
+    def test_variance_stats_merge_survives_tiny_variance_at_huge_mean(self):
+        """The (count, mean, M2) merge must not cancel catastrophically."""
+        target = np.array([1e6, 1e6 + 1e-4])
+        region = np.zeros((2, 1))
+        fast = ShardedBackend.from_arrays(
+            region, target, num_shards=2, max_workers=1, merge="stats"
+        )
+        expected = float(target.var())  # 2.5e-9
+        got = fast.evaluate(
+            VarianceStatistic("t"), np.array([[-1.0]]), np.array([[1.0]])
+        )[0]
+        np.testing.assert_allclose(got, expected, rtol=1e-9)
+
+    def test_shard_count_capped_by_rows(self):
+        region = np.arange(6, dtype=np.float64).reshape(3, 2)
+        backend = ShardedBackend.from_arrays(region, num_shards=10)
+        assert backend.num_shards == 3
+        assert backend.num_rows == 3
+
+    def test_out_of_core_flag_inherited(self, arrays):
+        region, target = arrays
+        assert not ShardedBackend.from_arrays(region, target, num_shards=2).out_of_core
+        assert ShardedBackend.from_arrays(
+            region, target, num_shards=2, shard_backend="chunked"
+        ).out_of_core
+
+
+class TestEngineBackendIntegration:
+    @pytest.fixture(scope="class")
+    def dataset(self, arrays=None):
+        rng = np.random.default_rng(11)
+        values = rng.uniform(size=(800, 3))
+        return Dataset(values, ["x", "y", "t"])
+
+    def test_engine_results_identical_across_backends(self, dataset):
+        statistic = AverageStatistic("t")
+        vectors = np.column_stack(
+            [
+                np.random.default_rng(2).uniform(size=(50, 2)),
+                np.random.default_rng(3).uniform(0.01, 0.4, size=(50, 2)),
+            ]
+        )
+        reference = DataEngine(dataset, statistic).evaluate_batch(vectors)
+        for name in BACKEND_NAMES:
+            engine = DataEngine(dataset, statistic, backend=name)
+            assert engine.backend.name == name
+            assert np.array_equal(engine.evaluate_batch(vectors), reference), name
+            assert engine.num_evaluations == 50
+            engine.close()
+
+    def test_engine_accepts_prebuilt_backend(self, dataset):
+        statistic = CountStatistic()
+        backend = ShardedBackend.from_arrays(dataset.values, num_shards=2)
+        engine = DataEngine(dataset, statistic, backend=backend)
+        assert engine.backend is backend
+        region = Region.from_bounds([0.2, 0.2, 0.0], [0.8, 0.8, 1.0])
+        assert engine.evaluate(region) == DataEngine(dataset, statistic).evaluate(region)
+        assert engine.support(region) == int(np.count_nonzero(engine.region_mask(region)))
+
+    def test_engine_rejects_mismatched_prebuilt_backend(self, dataset):
+        statistic = CountStatistic()
+        with pytest.raises(ValidationError, match="rows"):
+            DataEngine(dataset, statistic, backend=NumpyBackend(dataset.values[:10]))
+        with pytest.raises(ValidationError, match="region_dim"):
+            DataEngine(dataset, statistic, backend=NumpyBackend(dataset.values[:, :2]))
+        with pytest.raises(ValidationError, match="target"):
+            DataEngine(
+                dataset,
+                AverageStatistic("t"),
+                backend=NumpyBackend(dataset.values[:, [0, 1]]),
+            )
+        with pytest.raises(ValidationError, match="use_index"):
+            DataEngine(
+                dataset, statistic, backend=NumpyBackend(dataset.values), use_index=True
+            )
+        with pytest.raises(ValidationError, match="backend_options"):
+            DataEngine(
+                dataset,
+                statistic,
+                backend=NumpyBackend(dataset.values),
+                backend_options={"num_shards": 2},
+            )
+
+    def test_engine_rejects_index_on_non_numpy_backend(self, dataset):
+        with pytest.raises(ValidationError, match="use_index"):
+            DataEngine(dataset, CountStatistic(), backend="sqlite", use_index=True)
+
+    def test_sample_region_points_matches_dataset_sample(self, dataset):
+        engine = DataEngine(dataset, AverageStatistic("t"), backend="chunked")
+        expected = (
+            dataset.sample(40, random_state=21).select_columns(engine.region_columns).values
+        )
+        assert np.array_equal(engine.sample_region_points(40, random_state=21), expected)
+        engine.close()
+
+    def test_statistic_sample_identical_on_out_of_core_backend(self, dataset):
+        plain = DataEngine(dataset, CountStatistic())
+        chunked = DataEngine(
+            dataset, CountStatistic(), backend="chunked", backend_options={"block_rows": 97}
+        )
+        assert np.array_equal(
+            plain.statistic_sample(30, random_state=8),
+            chunked.statistic_sample(30, random_state=8),
+        )
+        chunked.close()

@@ -109,6 +109,43 @@ class TestDataEngineCount:
         assert engine.support(region) == 2
 
 
+class TestIndexedAttributeStatistics:
+    """The index's count-only restriction is lifted: candidate pruning now
+    serves attribute statistics too (prune, sort candidates back into row
+    order, gather exactly)."""
+
+    @pytest.fixture(scope="class")
+    def aggregate_dataset(self):
+        rng = np.random.default_rng(17)
+        values = np.column_stack(
+            [rng.uniform(size=(3_000, 2)), rng.normal(loc=1.0, size=3_000)]
+        )
+        return Dataset(values, ["x", "y", "value"])
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_indexed_attribute_statistics_match_unindexed(self, aggregate_dataset, seed):
+        statistic = AverageStatistic("value")
+        plain = DataEngine(aggregate_dataset, statistic, use_index=False)
+        indexed = DataEngine(aggregate_dataset, statistic, use_index=True, cells_per_dim=7)
+        rng = np.random.default_rng(seed)
+        vectors = np.column_stack(
+            [rng.uniform(size=(200, 2)), rng.uniform(-0.05, 0.4, size=(200, 2))]
+        )
+        # Bit-identical, not merely close: the indexed gather re-sorts pruned
+        # candidates into row order before the float reduction.
+        assert np.array_equal(plain.evaluate_batch(vectors), indexed.evaluate_batch(vectors))
+        assert plain.num_evaluations == indexed.num_evaluations == 200
+
+    def test_indexed_statistic_sample_matches_unindexed(self, aggregate_dataset):
+        statistic = AverageStatistic("value")
+        plain = DataEngine(aggregate_dataset, statistic, use_index=False)
+        indexed = DataEngine(aggregate_dataset, statistic, use_index=True, cells_per_dim=5)
+        assert np.array_equal(
+            plain.statistic_sample(40, random_state=4),
+            indexed.statistic_sample(40, random_state=4),
+        )
+
+
 class TestDataEngineAggregate:
     def test_average_excludes_target_dimension(self, simple_dataset):
         engine = DataEngine(simple_dataset, AverageStatistic("value"))

@@ -240,15 +240,20 @@ class TestEngineBatchEquivalence:
 
     def test_blocked_batch_matches_unblocked(self, batch_synthetic, batch_regions, monkeypatch):
         """Batches larger than the mask-memory cap are processed in row blocks."""
-        import repro.data.engine as engine_module
+        # The blocking moved into the backends with the repro.backends
+        # refactor, so the cap must be patched where the block loop reads it.
+        import repro.backends.numpy_backend as numpy_backend_module
 
         engine = DataEngine(batch_synthetic.dataset, CountStatistic())
         vectors = np.stack([region.to_vector() for region in batch_regions])
         unblocked = engine.evaluate_batch(vectors)
         # Force a tiny block size so this batch spans many blocks.
-        monkeypatch.setattr(engine_module, "MAX_MASK_ELEMENTS", 7 * batch_synthetic.dataset.num_rows)
+        monkeypatch.setattr(
+            numpy_backend_module, "MAX_MASK_ELEMENTS", 7 * batch_synthetic.dataset.num_rows
+        )
         blocked = engine.evaluate_batch(vectors)
         assert np.array_equal(unblocked, blocked)
+        assert len(batch_regions) > 7  # the patched cap really forces multiple blocks
 
     def test_bad_shape_rejected(self, batch_synthetic):
         from repro.exceptions import ValidationError
