@@ -13,10 +13,17 @@ Set ``REPRO_BENCH_SCALE=medium`` (or ``paper``) for larger runs.
 from __future__ import annotations
 
 import os
+import sys
 
 import pytest
 
 from repro.experiments.config import get_scale
+
+# The API benchmark compares the middleware kernel against the frozen PR 4
+# monolith kept in tests/helpers/legacy_service.py.
+HELPERS_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "tests", "helpers")
+if HELPERS_DIR not in sys.path:
+    sys.path.insert(0, HELPERS_DIR)
 
 
 @pytest.fixture(scope="session")

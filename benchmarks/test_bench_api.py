@@ -1,0 +1,181 @@
+"""Front-door benchmarks: middleware-chain overhead and batch throughput.
+
+Two acceptance bounds guard the PR 5 API redesign:
+
+* **Cached-hit overhead <= 10%** — decomposing the serving monolith into the
+  ``Normalize → SatisfiabilityGate → Cache → Coalesce → Execute → Harvest``
+  chain must not tax the paper's headline property (query latency independent
+  of ``N``, Table I).  Measured on an all-cached 16-query burst against the
+  frozen PR 4 monolith (``tests/helpers/legacy_service.py``).  In practice the
+  chain is *faster* than the monolith: frozen envelopes let the kernel intern
+  each request's canonical query, so repeated thresholds skip re-normalisation
+  entirely (measured ~0.5x, i.e. a ~2x speedup; the ceiling still asserts the
+  1.10x bound).
+* **Batch throughput >= 2x sequential** — the PR 2 floor, retained through the
+  new kernel: a 16-query burst with 4 distinct thresholds must beat 16
+  sequential ``handle`` calls by >= 2x (coalescing runs each distinct query
+  once; ``REPRO_API_SPEEDUP_FLOOR`` relaxes the floor on noisy shared
+  runners).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from legacy_service import LegacySuRFService
+from repro.api import FindRequest, ModelRegistry, ServiceKernel
+from repro.core.finder import SuRF
+from repro.core.query import RegionQuery
+from repro.data.engine import DataEngine
+from repro.data.synthetic import make_synthetic_dataset
+from repro.ml.boosting import GradientBoostingRegressor
+from repro.optim.gso import GSOParameters
+from repro.serve.service import SuRFService
+from repro.surrogate.training import SurrogateTrainer
+from repro.surrogate.workload import generate_workload
+
+#: Queries per burst / distinct thresholds inside it (the PR 2 shape).
+BATCH_QUERIES = 16
+DISTINCT_QUERIES = 4
+#: Rounds of the cached-burst timing loop (median-of-rounds is reported).
+CACHED_ROUNDS = 400
+
+
+def _overhead_ceiling() -> float:
+    """Allowed cached-hit latency ratio vs the PR 4 monolith (acceptance: 1.10)."""
+    return float(os.environ.get("REPRO_API_OVERHEAD_CEILING", "1.10"))
+
+
+def _speedup_floor() -> float:
+    """Required batch-over-sequential speedup (acceptance: 2x, as in PR 2)."""
+    return float(os.environ.get("REPRO_API_SPEEDUP_FLOOR", "2.0"))
+
+
+@pytest.fixture(scope="module")
+def api_finder():
+    synthetic = make_synthetic_dataset(
+        statistic="density", dim=2, num_regions=2, num_points=5_000, random_state=9
+    )
+    engine = DataEngine(synthetic.dataset, synthetic.statistic)
+    workload = generate_workload(engine, 1_000, random_state=0)
+    finder = SuRF(
+        trainer=SurrogateTrainer(
+            estimator=GradientBoostingRegressor(n_estimators=60, max_depth=4, random_state=0),
+            random_state=0,
+        ),
+        gso_parameters=GSOParameters(num_particles=40, num_iterations=25, random_state=0),
+        random_state=0,
+    )
+    sample = engine.dataset.sample(600, random_state=0).select_columns(engine.region_columns).values
+    finder.fit(workload, data_sample=sample)
+    return finder
+
+
+@pytest.fixture(scope="module")
+def api_burst(api_finder):
+    """16 queries over 4 distinct thresholds — heavy repeated analyst traffic."""
+    model = api_finder.satisfiability_
+    templates = [
+        RegionQuery(threshold=float(model.quantile(q)), direction="above")
+        for q in np.linspace(0.70, 0.85, DISTINCT_QUERIES)
+    ]
+    return [templates[i % DISTINCT_QUERIES] for i in range(BATCH_QUERIES)]
+
+
+def _time_cached_bursts(serve_batch, burst) -> float:
+    """Median wall-clock of an all-cached burst (cache warmed first)."""
+    serve_batch(burst)  # one cold pass fills the cache
+    samples = []
+    for _ in range(CACHED_ROUNDS):
+        start = time.perf_counter()
+        serve_batch(burst)
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples))
+
+
+def test_bench_cached_hit_overhead_vs_pr4_monolith(api_finder, api_burst):
+    """Middleware kernel cached-hit latency <= 1.10x the PR 4 monolith."""
+    legacy_service = LegacySuRFService(api_finder)
+    modern_service = SuRFService(api_finder)
+
+    # Bit-identical answers before any latency claim.
+    legacy_responses = legacy_service.find_regions_batch(api_burst)
+    modern_responses = modern_service.find_regions_batch(api_burst)
+    for before, after in zip(legacy_responses, modern_responses):
+        assert after.status == before.status
+        for lhs, rhs in zip(before.proposals, after.proposals):
+            assert np.array_equal(lhs.region.to_vector(), rhs.region.to_vector())
+            assert lhs.objective_value == rhs.objective_value
+
+    legacy_seconds = _time_cached_bursts(legacy_service.find_regions_batch, api_burst)
+    modern_seconds = _time_cached_bursts(modern_service.find_regions_batch, api_burst)
+    assert modern_service.stats.cache_hits >= CACHED_ROUNDS * BATCH_QUERIES
+
+    ratio = modern_seconds / legacy_seconds
+    print(
+        f"\ncached 16-query burst: PR 4 monolith {legacy_seconds * 1e6:.1f}us, "
+        f"middleware kernel {modern_seconds * 1e6:.1f}us, ratio {ratio:.2f}x "
+        f"(ceiling {_overhead_ceiling():.2f}x)"
+    )
+    assert ratio <= _overhead_ceiling()
+
+
+def test_bench_batch_throughput_floor_is_retained(api_finder, api_burst):
+    """Kernel batch serving >= 2x sequential on the 16-query burst (PR 2 floor)."""
+    kernel = ServiceKernel(api_finder)
+    requests = [FindRequest.from_query(query) for query in api_burst]
+
+    start = time.perf_counter()
+    sequential = [ServiceKernel(api_finder).handle(request) for request in requests]
+    sequential_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched = kernel.handle_batch(requests)
+    batch_seconds = time.perf_counter() - start
+
+    # Same answers, request for request, before the throughput claim.
+    for before, after in zip(sequential, batched):
+        assert after.status == "served"
+        assert after.proposals == before.proposals
+
+    stats = kernel.stats
+    assert stats.gso_runs == DISTINCT_QUERIES
+    assert stats.coalesced == BATCH_QUERIES - DISTINCT_QUERIES
+
+    speedup = sequential_seconds / batch_seconds
+    print(
+        f"\nfront-door burst of {BATCH_QUERIES} ({DISTINCT_QUERIES} distinct): "
+        f"sequential {sequential_seconds:.2f}s, batch {batch_seconds:.2f}s, "
+        f"speedup {speedup:.1f}x (floor {_speedup_floor():.1f}x)"
+    )
+    assert speedup >= _speedup_floor()
+
+
+def test_bench_multi_tenant_routing_overhead(api_finder, api_burst):
+    """Routing a mixed-tenant cached burst through ModelRegistry stays cheap.
+
+    The registry adds one group-by pass over the batch; on an all-cached
+    burst split across two tenants it must stay within 2x of serving the
+    same burst through a single kernel (it performs two kernel batches).
+    """
+    registry = ModelRegistry()
+    registry.register("tenant/a", api_finder)
+    registry.register("tenant/b", api_finder)
+    requests = [
+        FindRequest.from_query(query, model=("tenant/a" if index % 2 else "tenant/b"))
+        for index, query in enumerate(api_burst)
+    ]
+    single = ServiceKernel(api_finder)
+    single_requests = [FindRequest.from_query(query) for query in api_burst]
+
+    single_seconds = _time_cached_bursts(single.handle_batch, single_requests)
+    routed_seconds = _time_cached_bursts(registry.find_batch, requests)
+
+    ratio = routed_seconds / single_seconds
+    print(
+        f"\nmixed-tenant cached burst: single kernel {single_seconds * 1e6:.1f}us, "
+        f"registry-routed (2 tenants) {routed_seconds * 1e6:.1f}us, ratio {ratio:.2f}x"
+    )
+    assert ratio <= 2.0

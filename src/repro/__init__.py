@@ -4,8 +4,13 @@ The public API re-exports the pieces most users need:
 
 * :class:`repro.SuRF` — the surrogate-model + glowworm-swarm region finder,
 * :class:`repro.RegionQuery` / :class:`repro.Region` — queries and results,
-* :class:`repro.SuRFService` — the serving front-end (artifact bundles,
-  Eq. 5 satisfiability gating, LRU caching, batched multi-query execution),
+* the **front door** (:mod:`repro.api`) — typed :class:`repro.FindRequest` /
+  :class:`repro.FindResponse` envelopes served by a composable middleware
+  kernel (:class:`repro.ServiceKernel`) with multi-tenant routing
+  (:class:`repro.ModelRegistry`) and declarative plugin registries for
+  statistics, backends, surrogate families and optimisers,
+* :class:`repro.SuRFService` — the historical serving front-end, now a thin
+  backward-compatible shim over the kernel,
 * the online learning loop (:mod:`repro.online`) — :class:`repro.QueryLog`
   harvesting, :class:`repro.IncrementalTrainer` warm-start refreshes with a
   :class:`repro.DriftMonitor`-guarded full-refit fallback, and hot-swap
@@ -29,6 +34,13 @@ Quickstart::
         print(proposal.region, proposal.predicted_value)
 """
 
+from repro.api import (
+    FindRequest,
+    FindResponse,
+    ModelRegistry,
+    ProposalPayload,
+    ServiceKernel,
+)
 from repro.backends import (
     ChunkedBackend,
     DataBackend,
@@ -72,6 +84,11 @@ __all__ = [
     "RegionWorkload",
     "generate_workload",
     "SurrogateTrainer",
+    "FindRequest",
+    "FindResponse",
+    "ProposalPayload",
+    "ServiceKernel",
+    "ModelRegistry",
     "SuRFService",
     "ServiceResponse",
     "ServiceStats",

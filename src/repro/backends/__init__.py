@@ -33,9 +33,23 @@ from repro.backends.chunked import ChunkedBackend
 from repro.backends.numpy_backend import NumpyBackend
 from repro.backends.sharded import ShardedBackend
 from repro.backends.sql import SQLiteBackend
-from repro.exceptions import ValidationError
+from repro.utils.registry import Registry
 
-#: Registry of constructible backends, keyed by their ``name``.
+#: Plugin registry of constructible backends.  Each factory takes
+#: ``(region_values, target_values, **options)`` and returns a live
+#: :class:`DataBackend`.  Third-party backends plug in via
+#: ``BACKENDS.register(name, factory)`` (also re-exported through
+#: :mod:`repro.api.registries`) and become selectable everywhere a backend
+#: name is accepted — ``DataEngine(backend=...)``, experiment runners,
+#: config-driven construction.
+BACKENDS = Registry("backend")
+BACKENDS.register("numpy", NumpyBackend)
+BACKENDS.register("chunked", ChunkedBackend.from_arrays)
+BACKENDS.register("sqlite", SQLiteBackend)
+BACKENDS.register("sharded", ShardedBackend.from_arrays)
+
+#: Built-in backend names (kept for backward compatibility; the live set —
+#: including any plugins — is ``BACKENDS.names()``).
 BACKEND_NAMES = ("numpy", "chunked", "sqlite", "sharded")
 
 
@@ -47,26 +61,20 @@ def make_backend(
 ) -> DataBackend:
     """Build a backend by name over in-memory arrays.
 
-    ``options`` are forwarded to the backend constructor: ``index`` (numpy),
-    ``directory``/``block_rows`` (chunked), ``path``/``exact_reductions``
-    (sqlite), ``num_shards``/``shard_backend``/``max_workers``/``merge``
-    plus per-shard options (sharded; storage locations like ``path`` or
-    ``directory`` are suffixed per shard so shards never collide).  For
-    ``.npy`` data already on disk, construct ``ChunkedBackend(region_path,
-    target_path)`` directly — nothing is materialised then.  Note that
-    ``sqlite`` always (re)loads the given arrays: an existing ``data`` table
-    at ``path`` is dropped and replaced.
+    ``kind`` is resolved through the :data:`BACKENDS` registry, so registered
+    third-party backends construct here (and through ``DataEngine``) exactly
+    like the built-ins.  ``options`` are forwarded to the backend constructor:
+    ``index`` (numpy), ``directory``/``block_rows`` (chunked),
+    ``path``/``exact_reductions`` (sqlite),
+    ``num_shards``/``shard_backend``/``max_workers``/``merge`` plus per-shard
+    options (sharded; storage locations like ``path`` or ``directory`` are
+    suffixed per shard so shards never collide).  For ``.npy`` data already on
+    disk, construct ``ChunkedBackend(region_path, target_path)`` directly —
+    nothing is materialised then.  Note that ``sqlite`` always (re)loads the
+    given arrays: an existing ``data`` table at ``path`` is dropped and
+    replaced.
     """
-    key = str(kind).lower()
-    if key == "numpy":
-        return NumpyBackend(region_values, target_values, **options)
-    if key == "chunked":
-        return ChunkedBackend.from_arrays(region_values, target_values, **options)
-    if key == "sqlite":
-        return SQLiteBackend(region_values, target_values, **options)
-    if key == "sharded":
-        return ShardedBackend.from_arrays(region_values, target_values, **options)
-    raise ValidationError(f"unknown backend {kind!r}; available: {sorted(BACKEND_NAMES)}")
+    return BACKENDS.create(kind, region_values, target_values, **options)
 
 
 __all__ = [
@@ -76,6 +84,7 @@ __all__ = [
     "SQLiteBackend",
     "ShardedBackend",
     "make_backend",
+    "BACKENDS",
     "BACKEND_NAMES",
     "MAX_MASK_ELEMENTS",
 ]

@@ -16,8 +16,8 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.data.dataset import Dataset
-from repro.data.regions import Region
-from repro.exceptions import EmptyRegionError, ValidationError
+from repro.exceptions import ValidationError
+from repro.utils.registry import Registry
 
 
 class StatisticSpec(ABC):
@@ -350,31 +350,30 @@ class RatioStatistic(_AttributeStatistic):
         )
 
 
-_STATISTIC_FACTORIES = {
-    "count": lambda **kw: CountStatistic(),
-    "density": lambda **kw: CountStatistic(),
-    "average": lambda **kw: AverageStatistic(kw["target_column"]),
-    "aggregate": lambda **kw: AverageStatistic(kw["target_column"]),
-    "sum": lambda **kw: SumStatistic(kw["target_column"]),
-    "variance": lambda **kw: VarianceStatistic(kw["target_column"]),
-    "median": lambda **kw: MedianStatistic(kw["target_column"]),
-    "ratio": lambda **kw: RatioStatistic(kw["target_column"], kw["positive_value"]),
-}
+#: Plugin registry of constructible statistics.  Built-ins are registered
+#: below; third parties add their own via ``STATISTICS.register(name, factory)``
+#: (also re-exported through :mod:`repro.api.registries`).
+STATISTICS = Registry("statistic")
+STATISTICS.register("count", lambda **kw: CountStatistic(), aliases=("density",))
+STATISTICS.register(
+    "average", lambda **kw: AverageStatistic(kw["target_column"]), aliases=("aggregate",)
+)
+STATISTICS.register("sum", lambda **kw: SumStatistic(kw["target_column"]))
+STATISTICS.register("variance", lambda **kw: VarianceStatistic(kw["target_column"]))
+STATISTICS.register("median", lambda **kw: MedianStatistic(kw["target_column"]))
+STATISTICS.register(
+    "ratio", lambda **kw: RatioStatistic(kw["target_column"], kw["positive_value"])
+)
 
 
 def make_statistic(name: str, **kwargs) -> StatisticSpec:
-    """Create a statistic by name.
+    """Create a statistic by name, resolved through the :data:`STATISTICS` registry.
 
-    Recognised names: ``count``/``density``, ``average``/``aggregate``, ``sum``,
+    Built-in names: ``count``/``density``, ``average``/``aggregate``, ``sum``,
     ``variance``, ``median`` and ``ratio``.  Attribute statistics require a
     ``target_column`` keyword; ``ratio`` also needs ``positive_value``.
     """
-    key = str(name).lower()
-    if key not in _STATISTIC_FACTORIES:
-        raise ValidationError(
-            f"unknown statistic {name!r}; available: {sorted(_STATISTIC_FACTORIES)}"
-        )
     try:
-        return _STATISTIC_FACTORIES[key](**kwargs)
+        return STATISTICS.create(name, **kwargs)
     except KeyError as exc:
         raise ValidationError(f"statistic {name!r} is missing required argument {exc}") from exc

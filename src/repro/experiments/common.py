@@ -4,8 +4,6 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-import numpy as np
-
 from repro.core.finder import SuRF
 from repro.core.query import RegionQuery
 from repro.data.engine import DataEngine
@@ -43,15 +41,22 @@ def build_engine(
     """Back-end engine evaluating the dataset's statistic exactly.
 
     ``backend``/``backend_options`` select the :mod:`repro.backends` engine the
-    scans run on (``None`` keeps the in-memory default); every backend returns
-    bit-identical statistics, so experiment series do not depend on the choice.
+    scans run on (``None`` keeps the in-memory default); names are resolved
+    through the :data:`repro.api.registries.BACKENDS` plugin registry, so
+    registered third-party backends work here and in every experiment runner
+    exactly like the built-ins.  Every backend returns bit-identical
+    statistics, so experiment series do not depend on the choice.
     """
-    return DataEngine(
+    from repro.api.registries import engine_from_config
+
+    return engine_from_config(
         synthetic.dataset,
-        synthetic.statistic,
-        use_index=use_index,
-        backend=backend,
-        backend_options=backend_options,
+        {
+            "statistic": synthetic.statistic,
+            "use_index": use_index,
+            "backend": backend,
+            "backend_options": backend_options,
+        },
     )
 
 
@@ -76,12 +81,28 @@ def fit_surf(
     scale: ExperimentScale,
     random_state: int,
     trainer: Optional[SurrogateTrainer] = None,
+    surrogate: Optional[str] = None,
+    surrogate_options: Optional[dict] = None,
     **surf_kwargs,
 ) -> Tuple[SuRF, int]:
     """Train a SuRF finder on a freshly generated workload.
 
-    Returns the fitted finder and the workload size used.
+    ``surrogate``/``surrogate_options`` pick an estimator family by name from
+    the :data:`repro.ml.SURROGATES` registry (``"boosting"``, ``"forest"``,
+    ...) when no explicit ``trainer`` is given — the config-dict path the
+    :mod:`repro.api` registries open up.  Returns the fitted finder and the
+    workload size used.
     """
+    if trainer is None and surrogate is not None:
+        trainer = SurrogateTrainer(
+            estimator=surrogate,
+            estimator_options=surrogate_options,
+            random_state=random_state,
+        )
+    elif trainer is not None and surrogate is not None:
+        raise ValueError("pass either trainer or surrogate, not both")
+    elif surrogate_options:
+        raise ValueError("surrogate_options require a surrogate family name")
     num_evaluations = workload_size_for_dim(scale, engine.region_dim)
     finder = SuRF(
         trainer=trainer,

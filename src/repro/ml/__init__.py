@@ -23,6 +23,19 @@ from repro.ml.metrics import mean_absolute_error, mean_squared_error, r2_score, 
 from repro.ml.model_selection import GridSearchCV, KFold, cross_val_score, train_test_split
 from repro.ml.preprocessing import MinMaxScaler, StandardScaler
 from repro.ml.tree import DecisionTreeRegressor
+from repro.utils.registry import Registry
+
+#: Plugin registry of surrogate estimator families, keyed by short name.
+#: ``SurrogateTrainer(estimator="forest")`` and config-driven construction
+#: through :mod:`repro.api.registries` resolve names here; register new
+#: families via ``SURROGATES.register(name, estimator_cls)``.
+SURROGATES = Registry("surrogate family")
+SURROGATES.register("boosting", GradientBoostingRegressor, aliases=("gbrt", "xgboost-like"))
+SURROGATES.register("forest", RandomForestRegressor, aliases=("random-forest",))
+SURROGATES.register("tree", DecisionTreeRegressor)
+SURROGATES.register("knn", KNeighborsRegressor)
+SURROGATES.register("linear", LinearRegression)
+SURROGATES.register("ridge", RidgeRegression)
 
 __all__ = [
     "BaseEstimator",
@@ -43,4 +56,5 @@ __all__ = [
     "GridSearchCV",
     "StandardScaler",
     "MinMaxScaler",
+    "SURROGATES",
 ]

@@ -3,11 +3,22 @@
 Contains the Glowworm Swarm Optimization (GSO) algorithm the paper builds on
 (multimodal — converges to many local optima simultaneously) and a standard
 Particle Swarm Optimization (PSO) used as a unimodal ablation.
+
+The :data:`OPTIMIZERS` registry maps names to optimiser classes (``"gso"``,
+``"pso"``) so experiment configs and the :mod:`repro.api` front door can pick
+the search algorithm declaratively; register alternatives via
+``OPTIMIZERS.register(name, cls)``.
 """
 
 from repro.optim.gso import GlowwormSwarmOptimizer, GSOParameters
 from repro.optim.pso import ParticleSwarmOptimizer, PSOParameters
 from repro.optim.result import OptimizationResult
+from repro.utils.registry import Registry
+
+#: Plugin registry of swarm optimisers, keyed by short name.
+OPTIMIZERS = Registry("optimizer")
+OPTIMIZERS.register("gso", GlowwormSwarmOptimizer, aliases=("glowworm",))
+OPTIMIZERS.register("pso", ParticleSwarmOptimizer, aliases=("particle",))
 
 __all__ = [
     "GlowwormSwarmOptimizer",
@@ -15,4 +26,5 @@ __all__ = [
     "ParticleSwarmOptimizer",
     "PSOParameters",
     "OptimizationResult",
+    "OPTIMIZERS",
 ]

@@ -1,10 +1,12 @@
-"""Query-serving layer: artifact bundles in, high-throughput region mining out.
+"""Query-serving layer (backward-compatible shim over :mod:`repro.api`).
 
-``repro.serve`` is the deployment face of the library: a fitted
-:class:`~repro.core.finder.SuRF` is saved once to an artifact bundle
-(``SuRF.save``), shipped to the serving host, and wrapped in a
-:class:`SuRFService` that answers analyst queries with Eq. 5 satisfiability
-gating, LRU result caching and coalesced multi-query batches.
+``repro.serve`` was the deployment face of the library through PR 4; the
+serving machinery now lives behind the :mod:`repro.api` front door —
+:class:`repro.api.ServiceKernel` (one model behind a composable middleware
+chain) and :class:`repro.api.ModelRegistry` (multi-tenant routing).  The
+:class:`SuRFService` exported here is a thin adapter over the kernel kept so
+existing code keeps working bit-identically; prefer ``repro.api`` for new
+deployments.
 """
 
 from repro.serve.service import ServiceResponse, ServiceStats, SuRFService

@@ -1,130 +1,63 @@
-"""The SuRF query service: cached, satisfiability-gated, multi-query serving.
+"""Backward-compatible serving front-end over the :mod:`repro.api` kernel.
 
-The paper's headline claim (Table I) is that query latency is independent of
-the dataset size because all data access happens offline.  This module turns
-that property into a deployable front-end: a :class:`SuRFService` wraps one
-fitted :class:`~repro.core.finder.SuRF` (typically loaded from an artifact
-bundle) and serves threshold queries with three optimisations a raw finder
-does not have:
+.. deprecated::
+    ``SuRFService`` is the pre-PR 5 entry point, kept as a **thin shim** so
+    existing deployments, tests and examples keep working unchanged.  New code
+    should go through the front door instead — :class:`repro.api.ServiceKernel`
+    for one model, :class:`repro.api.ModelRegistry` for many — which speak
+    typed :class:`~repro.api.envelopes.FindRequest` /
+    :class:`~repro.api.envelopes.FindResponse` envelopes and accept custom
+    middleware.  The shim will stay for the foreseeable future (it is a ~100
+    line adapter), but it will not grow new features.
 
-1. **Eq. 5 satisfiability gate** — thresholds no past evaluation ever reached
-   are rejected with one ``O(log W)`` binary search instead of burning a full
-   GSO run that cannot find anything (the surrogate cannot extrapolate beyond
-   its training range either, so such a run is doubly hopeless).
-2. **Query normalisation + LRU result caching** — heavy analyst traffic
-   repeats thresholds; a repeated query is answered from the cache without
-   invoking the optimiser at all.
-3. **Batched execution with request coalescing** — ``find_regions_batch``
-   deduplicates identical queries inside one batch (each distinct query runs
-   GSO once, every duplicate shares the result) and runs the distinct misses
-   on a thread pool; the swarm kernels are NumPy-bound and release the GIL in
-   their hot loops.  Seeded runs stay bit-identical to sequential
-   ``find_regions`` calls because every run derives its RNG stream from the
-   finder's configured seed, never from shared mutable state.  (A finder
-   seeded with a caller-owned live ``numpy`` ``Generator`` — inherently
-   non-reproducible and not thread-safe — is detected and executed on a
-   single worker.)
-
-On top of that sits the **online learning loop** (:mod:`repro.online`): wire
-the service to a :class:`~repro.online.QueryLog` and it harvests exact
-``([x, l], y)`` pairs — those it triggers itself through an optional
-ground-truth ``exact_engine``, plus any the deployment observes externally via
-:meth:`SuRFService.observe` — and :meth:`SuRFService.refresh` folds them into
-the surrogate and the Eq. 5 CDF, then **hot-swaps** the refreshed models.
-
-The swap is by reference, never by mutation: every serving path captures the
-current finder exactly once, a refresh builds a *new* finder object off to the
-side and installs it (plus a cache clear and a generation bump) under the
-service lock in O(1).  An in-flight GSO run therefore always completes against
-the single model generation it started with — there is no observable
-half-swapped state — and its result is dropped rather than cached when it
-belongs to a superseded generation.  A refresh that found no new pairs swaps
-nothing at all, keeping serving bit-identical.
+Everything this class historically did — query normalisation, the Eq. 5
+satisfiability gate, LRU result caching with generation-tagged inserts,
+in-batch request coalescing, thread-pool execution with the shared-generator
+fallback, query-log harvesting and refresh/hot-swap — now lives in the
+composable middleware chain (``Normalize → SatisfiabilityGate → Cache →
+Coalesce → Execute → Harvest``) run by the kernel.  The shim merely translates
+:class:`~repro.core.query.RegionQuery` in and :class:`ServiceResponse` out;
+its results are bit-identical to the PR 4 monolith (asserted against a frozen
+copy of it by ``tests/property/test_property_api.py``).
 """
 
 from __future__ import annotations
 
-import copy
-import os
-import threading
-import time
-from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
-import numpy as np
+from time import perf_counter
 
+from repro.api.envelopes import FindRequest, FindResponse
+from repro.api.kernel import ServiceKernel, ServiceStats, check_service_options
+from repro.api.middleware import BatchContext, normalize_query
 from repro.core.finder import RegionSearchResult, SuRF
-from repro.core.query import RegionQuery, SolutionSpace
-from repro.exceptions import NotFittedError, ValidationError
-from repro.utils.validation import canonical_float
+from repro.core.query import RegionQuery
 
+__all__ = ["SuRFService", "ServiceResponse", "ServiceStats"]
 
-@dataclass
-class ServiceStats:
-    """Counters of everything the service did since construction (or ``reset``).
-
-    ``cache_misses`` counts queries that needed a result not in the cache when
-    they arrived; of those, ``coalesced`` were answered by sharing an identical
-    in-flight run inside the same batch, so ``gso_runs`` — actual optimiser
-    executions — equals ``cache_misses - coalesced``.  ``harvested`` counts
-    exact evaluations recorded into the query log through this service — both
-    ground-truthed proposals (``exact_engine``) and externally observed pairs
-    (``observe``/``observe_many``); ``refreshes`` counts how many times a
-    refresh actually swapped in new models.
-    """
-
-    queries: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    coalesced: int = 0
-    rejected: int = 0
-    gso_runs: int = 0
-    harvested: int = 0
-    refreshes: int = 0
-
-    @property
-    def hit_rate(self) -> float:
-        """Fraction of queries answered from the cache (0.0 before any query)."""
-        return self.cache_hits / self.queries if self.queries else 0.0
-
-    def as_dict(self) -> Dict[str, float]:
-        """Plain-dict view for logs and benchmark tables."""
-        return {
-            "queries": self.queries,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "coalesced": self.coalesced,
-            "rejected": self.rejected,
-            "gso_runs": self.gso_runs,
-            "harvested": self.harvested,
-            "refreshes": self.refreshes,
-            "hit_rate": self.hit_rate,
-        }
+#: Options ``SuRFService`` accepts besides the finder (kept in the historical
+#: positional order; ``middleware`` is the kernel passthrough added in PR 5).
+SERVICE_OPTIONS = (
+    "cache_size",
+    "min_satisfiability",
+    "max_proposals",
+    "max_workers",
+    "query_log",
+    "incremental_trainer",
+    "exact_engine",
+    "middleware",
+)
 
 
 @dataclass(frozen=True)
 class ServiceResponse:
-    """One answered query.
+    """One answered query (the historical response shape).
 
-    Attributes
-    ----------
-    query:
-        The normalised query that was served.
-    status:
-        ``"served"`` (a fresh GSO run — possibly shared with identical queries
-        of the same batch), ``"cached"`` (answered from the LRU cache) or
-        ``"rejected"`` (Eq. 5 satisfiability at or below the service's gate;
-        no optimiser run).
-    satisfiability:
-        The Eq. 5 probability estimated for the query.
-    result:
-        The full :class:`~repro.core.finder.RegionSearchResult`, or ``None``
-        when the query was rejected.
-    elapsed_seconds:
-        Wall-clock time the service spent producing this response (for a
-        coalesced batch member, the shared run's time).
+    ``status`` is ``"served"``, ``"cached"`` or ``"rejected"``; ``result``
+    carries the full :class:`~repro.core.finder.RegionSearchResult` (``None``
+    when rejected).  New code should prefer the serialisable
+    :class:`~repro.api.envelopes.FindResponse` envelope.
     """
 
     query: RegionQuery
@@ -138,53 +71,27 @@ class ServiceResponse:
         """The proposed regions (empty for rejected queries)."""
         return self.result.proposals if self.result is not None else []
 
+    @classmethod
+    def from_envelope(cls, response: FindResponse, query: RegionQuery) -> "ServiceResponse":
+        """The legacy view of a typed :class:`FindResponse`."""
+        return cls(
+            query=query,
+            status=response.status,
+            satisfiability=response.satisfiability,
+            result=response.result,
+            elapsed_seconds=response.elapsed_seconds,
+        )
+
 
 class SuRFService:
     """Serving front-end over one fitted :class:`~repro.core.finder.SuRF`.
 
-    Parameters
-    ----------
-    finder:
-        A fitted finder; typically ``SuRF.load(bundle_path)``.
-    cache_size:
-        Maximum number of query results kept in the LRU cache (0 disables
-        caching; duplicate queries inside one batch are still coalesced).
-    min_satisfiability:
-        Queries whose Eq. 5 probability is **at or below** this value are
-        rejected without running the optimiser.  The default 0.0 rejects
-        exactly the thresholds that no past evaluation ever satisfied.
-    max_proposals:
-        Forwarded to every ``find_regions`` call.
-    max_workers:
-        Default thread-pool width for :meth:`find_regions_batch` (``None``
-        picks ``min(num distinct queries, cpu count)`` per batch).
-    query_log:
-        A :class:`~repro.online.QueryLog` that collects exact evaluations for
-        the online learning loop.  Without one, :meth:`observe` and
-        :meth:`refresh` refuse to run and the service behaves exactly like the
-        offline-only front-end.
-    incremental_trainer:
-        The :class:`~repro.online.IncrementalTrainer` that :meth:`refresh`
-        folds logged pairs with.  Lazily built from the finder's stored
-        workload on the first refresh when omitted.
-    exact_engine:
-        Optional ground-truth back-end (:class:`~repro.data.engine.DataEngine`).
-        When both it and ``query_log`` are set, every fresh GSO run's proposed
-        regions are evaluated *exactly* and the resulting ``([x, l], y)``
-        pairs harvested into the log — the serve→learn loop the paper's
-        "pairs harvested from the query log" implies.  The engine may run on
-        any :mod:`repro.backends` backend — ground-truthing against
-        out-of-core or SQL-resident data is exactly the workload those
-        backends exist for; every backend is thread-safe under the service's
-        worker pool (the sharded backend additionally fans each evaluation
-        out over its own shard pool).  This is the one
-        deliberate exception to "no data access at query time": it is opt-in,
-        feeds only the log (responses still report surrogate predictions), and
-        it runs synchronously inside the GSO run, so every *cold* response
-        additionally pays one exact batch evaluation of its proposals —
-        deployments that cannot afford that (or have no reachable back-end)
-        leave it unset and push externally observed pairs via :meth:`observe`
-        instead.
+    A thin backward-compatibility adapter over
+    :class:`repro.api.ServiceKernel`; see that class for the full parameter
+    documentation (``cache_size``, ``min_satisfiability``, ``max_proposals``,
+    ``max_workers``, ``query_log``, ``incremental_trainer``, ``exact_engine``
+    all behave exactly as they did in the monolith).  ``middleware`` forwards
+    a custom chain to the kernel.
     """
 
     def __init__(
@@ -197,237 +104,121 @@ class SuRFService:
         query_log=None,
         incremental_trainer=None,
         exact_engine=None,
+        middleware=None,
     ):
-        if not isinstance(finder, SuRF):
-            raise ValidationError(f"finder must be a SuRF instance, got {type(finder)!r}")
-        if finder.surrogate_ is None or finder.solution_space_ is None:
-            raise NotFittedError("SuRFService requires a fitted SuRF finder")
-        if finder.satisfiability_ is None:
-            raise NotFittedError("SuRFService requires a finder with a satisfiability model")
-        if cache_size < 0:
-            raise ValidationError(f"cache_size must be >= 0, got {cache_size}")
-        if not 0.0 <= min_satisfiability < 1.0:
-            raise ValidationError(
-                f"min_satisfiability must be in [0, 1), got {min_satisfiability}"
-            )
-        if max_workers is not None and max_workers < 1:
-            raise ValidationError(f"max_workers must be >= 1, got {max_workers}")
-        if exact_engine is not None and query_log is None:
-            raise ValidationError("exact_engine requires a query_log to harvest into")
-        self._finder = finder
-        self.cache_size = int(cache_size)
-        self.min_satisfiability = float(min_satisfiability)
-        self.max_proposals = max_proposals
-        self.max_workers = max_workers
-        self._query_log = query_log
-        self._incremental_trainer = incremental_trainer
-        self._exact_engine = exact_engine
-        self._cache: "OrderedDict[RegionQuery, RegionSearchResult]" = OrderedDict()
-        self._lock = threading.Lock()
-        self._refresh_lock = threading.Lock()
-        self._stats = ServiceStats()
-        self._generation = 0
-        self._log_cursor = 0
+        kernel_options = dict(
+            cache_size=cache_size,
+            min_satisfiability=min_satisfiability,
+            max_proposals=max_proposals,
+            max_workers=max_workers,
+            query_log=query_log,
+            incremental_trainer=incremental_trainer,
+            exact_engine=exact_engine,
+        )
+        if middleware is not None:
+            kernel_options["middleware"] = middleware
+        self._kernel = ServiceKernel(finder, **kernel_options)
+        # Interned query -> envelope map: repeated queries (the traffic shape
+        # the cache exists for) reuse one frozen FindRequest, whose normalised
+        # form the Normalize middleware also memoises.  Benign races only.
+        self._envelopes: dict = {}
 
     @classmethod
     def from_bundle(cls, path, **kwargs) -> "SuRFService":
-        """Build a service straight from an artifact bundle on disk."""
+        """Build a service straight from an artifact bundle on disk.
+
+        Unknown options raise :class:`~repro.exceptions.ValidationError`
+        naming the bad key *before* the bundle is loaded (historically this
+        surfaced only as a ``TypeError`` after the expensive load).
+        """
+        check_service_options(kwargs, allowed=SERVICE_OPTIONS, where="SuRFService.from_bundle")
         return cls(SuRF.load(path), **kwargs)
+
+    # ------------------------------------------------------------------ passthrough views
+    @property
+    def kernel(self) -> ServiceKernel:
+        """The underlying :class:`repro.api.ServiceKernel` (the real service)."""
+        return self._kernel
 
     @property
     def finder(self) -> SuRF:
         """The finder currently being served (a new object after each swap)."""
-        return self._finder
+        return self._kernel.finder
 
     @property
     def query_log(self):
         """The wired :class:`~repro.online.QueryLog` (``None`` when offline-only)."""
-        return self._query_log
+        return self._kernel.query_log
 
     @property
     def generation(self) -> int:
         """How many model swaps this service has performed (0 = as constructed)."""
-        with self._lock:
-            return self._generation
+        return self._kernel.generation
 
-    # ------------------------------------------------------------------ normalisation
-    @staticmethod
-    def normalize_query(query: RegionQuery) -> RegionQuery:
-        """Canonical form of a query, used as the cache key.
+    @property
+    def cache_size(self) -> int:
+        return self._kernel.cache_size
 
-        Numeric fields are coerced to plain Python floats and rounded to 12
-        significant digits (:func:`repro.utils.validation.canonical_float`),
-        so e.g. a ``numpy.float64`` threshold, its float twin and a value
-        carrying relative noise below ~1e-13 all hit the same cache entry —
-        thresholds arriving from different front-ends differ by exactly that
-        kind of noise (serialisation round trips, ``float32`` upcasts,
-        arithmetic order).  :class:`RegionQuery` re-validates on construction,
-        and the rounding is idempotent, so normalising twice is a no-op.
-        """
-        if not isinstance(query, RegionQuery):
-            raise ValidationError(f"expected a RegionQuery, got {type(query)!r}")
-        return RegionQuery(
-            threshold=canonical_float(query.threshold),
-            direction=query.direction,
-            size_penalty=canonical_float(query.size_penalty),
-        )
+    @property
+    def min_satisfiability(self) -> float:
+        return self._kernel.min_satisfiability
 
-    # ------------------------------------------------------------------ cache internals
-    def _cache_get(self, key: RegionQuery) -> Optional[RegionSearchResult]:
-        """LRU lookup; caller must hold the lock."""
-        result = self._cache.get(key)
-        if result is not None:
-            self._cache.move_to_end(key)
-        return result
+    @property
+    def max_proposals(self) -> Optional[int]:
+        return self._kernel.max_proposals
 
-    def _cache_put(self, key: RegionQuery, result: RegionSearchResult, generation: int) -> None:
-        """LRU insert with eviction; caller must hold the lock.
-
-        A result computed against a finder generation that has since been
-        swapped out is dropped: caching it would resurrect the stale model's
-        answers after the refresh already invalidated them.
-        """
-        if self.cache_size == 0 or generation != self._generation:
-            return
-        self._cache[key] = result
-        self._cache.move_to_end(key)
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
-
-    def clear_cache(self) -> None:
-        """Drop every cached result (stats are kept)."""
-        with self._lock:
-            self._cache.clear()
+    @property
+    def max_workers(self) -> Optional[int]:
+        return self._kernel.max_workers
 
     @property
     def cached_queries(self) -> int:
         """Number of results currently held in the cache."""
-        with self._lock:
-            return len(self._cache)
+        return self._kernel.cached_queries
 
     @property
     def stats(self) -> ServiceStats:
         """A snapshot copy of the service counters."""
-        with self._lock:
-            return replace(self._stats)
+        return self._kernel.stats
+
+    @property
+    def pending_log_entries(self) -> int:
+        """Logged pairs not yet folded into the surrogate by a refresh."""
+        return self._kernel.pending_log_entries
+
+    normalize_query = staticmethod(normalize_query)
+
+    def clear_cache(self) -> None:
+        """Drop every cached result (stats are kept)."""
+        self._kernel.clear_cache()
 
     def reset_stats(self) -> None:
         """Zero all counters (the cache is untouched)."""
-        with self._lock:
-            self._stats = ServiceStats()
+        self._kernel.reset_stats()
 
     def _uses_shared_generator(self, finder: Optional[SuRF] = None) -> bool:
-        """Whether the finder draws from a caller-owned live ``Generator``.
-
-        ``random_state`` may be a live :class:`numpy.random.Generator`
-        (:func:`repro.utils.rng.ensure_rng`); such a stream is shared, mutable
-        and not thread-safe, so batch execution must fall back to one worker.
-        """
-        if finder is None:
-            finder = self._finder
-        parameters = finder.gso_parameters
-        return isinstance(finder.random_state, np.random.Generator) or (
-            parameters is not None and isinstance(parameters.random_state, np.random.Generator)
-        )
+        return self._kernel._uses_shared_generator(finder)
 
     # ------------------------------------------------------------------ serving
-    def _capture_and_classify(self, normalized: Sequence[RegionQuery]):
-        """Snapshot one model generation and classify queries against it.
-
-        Captures ``(finder, generation)`` atomically, probes Eq. 5 outside the
-        lock, then re-verifies the generation before touching the cache: if a
-        refresh swapped models mid-probe, the whole classification retries on
-        the new model rather than pairing an old-generation probability with a
-        new-generation cached result (or vice versa).  Every probability,
-        cache hit and pending GSO run returned here therefore belongs to one
-        single generation.
-
-        Returns ``(finder, generation, probabilities, statuses, results,
-        pending)`` where ``pending`` maps each distinct uncached query to the
-        indices that asked for it (the coalescing map).
-        """
-        statuses: List[str] = [""] * len(normalized)
-        results: List[Optional[RegionSearchResult]] = [None] * len(normalized)
-        pending: "OrderedDict[RegionQuery, List[int]]" = OrderedDict()
-        while True:
-            with self._lock:
-                finder = self._finder
-                generation = self._generation
-            probabilities = [finder.satisfiability(query) for query in normalized]
-            with self._lock:
-                if self._generation != generation:
-                    continue  # a refresh landed mid-probe; retry on the new model
-                for index, (query, probability) in enumerate(zip(normalized, probabilities)):
-                    self._stats.queries += 1
-                    if probability <= self.min_satisfiability:
-                        self._stats.rejected += 1
-                        statuses[index] = "rejected"
-                        continue
-                    cached = self._cache_get(query)
-                    if cached is not None:
-                        self._stats.cache_hits += 1
-                        statuses[index] = "cached"
-                        results[index] = cached
-                        continue
-                    self._stats.cache_misses += 1
-                    statuses[index] = "served"
-                    if query in pending:
-                        self._stats.coalesced += 1
-                    pending.setdefault(query, []).append(index)
-                return finder, generation, probabilities, statuses, results, pending
-
-    def _run_query(self, finder: SuRF, query: RegionQuery) -> RegionSearchResult:
-        """One real GSO run (the only code path that invokes the optimiser).
-
-        Runs against the finder snapshot the caller captured, so a refresh
-        swapping ``self._finder`` mid-run cannot mix model generations inside
-        one result.  When an exact back-end is wired, the run's proposals are
-        ground-truthed and harvested into the query log.
-        """
-        result = finder.find_regions(query, max_proposals=self.max_proposals)
-        harvested = 0
-        if self._exact_engine is not None and self._query_log is not None and result.proposals:
-            from repro.surrogate.workload import RegionEvaluation
-
-            regions = [proposal.region for proposal in result.proposals]
-            values = np.asarray(self._exact_engine.evaluate_many(regions), dtype=np.float64)
-            finite = np.isfinite(values)
-            self._query_log.record_many(
-                [
-                    RegionEvaluation(region, float(value))
-                    for region, value, keep in zip(regions, values, finite)
-                    if keep
-                ]
-            )
-            harvested = int(finite.sum())
-        with self._lock:
-            self._stats.gso_runs += 1
-            self._stats.harvested += harvested
-        return result
-
     def find_regions(self, query: RegionQuery) -> ServiceResponse:
         """Serve a single query: gate on Eq. 5, then cache, then GSO.
 
-        Concurrent callers racing on the *same* uncached query may each run the
-        optimiser (the results are identical); use :meth:`find_regions_batch`
-        to coalesce known-duplicate requests.
+        Runs the kernel's middleware chain directly on a one-request context
+        and reads the legacy response off the request state — the serialisable
+        :class:`~repro.api.envelopes.FindResponse` materialisation is skipped,
+        keeping cached hits at monolith latency (``benchmarks/test_bench_api.py``
+        holds the overhead to <= 10%).
         """
-        start = time.perf_counter()
-        query = self.normalize_query(query)
-        finder, generation, probabilities, statuses, results, _ = self._capture_and_classify(
-            [query]
-        )
-        probability, status, result = probabilities[0], statuses[0], results[0]
-        if status == "served":
-            result = self._run_query(finder, query)
-            with self._lock:
-                self._cache_put(query, result, generation)
+        start = perf_counter()
+        ctx = BatchContext(self._kernel, (self._request(query),))
+        self._kernel.serve(ctx)
+        state = ctx.states[0]
         return ServiceResponse(
-            query=query,
-            status=status,
-            satisfiability=probability,
-            result=result,
-            elapsed_seconds=time.perf_counter() - start,
+            query=state.query,
+            status=state.status,
+            satisfiability=float(state.satisfiability),
+            result=state.result,
+            elapsed_seconds=perf_counter() - start,
         )
 
     def find_regions_batch(
@@ -437,167 +228,58 @@ class SuRFService:
     ) -> List[ServiceResponse]:
         """Serve many queries at once, sharing work across them.
 
-        Every query is normalised and classified under one lock acquisition:
-        rejected (Eq. 5), answered from cache, or a miss.  Identical misses are
-        coalesced — each distinct query runs GSO exactly once and all of its
-        duplicates share the result — and the distinct runs execute on a
-        thread pool.  Responses come back in input order and are bit-identical
-        to what sequential :meth:`find_regions` calls would have produced,
-        because each run's RNG stream depends only on the finder's seed.  A
-        finder seeded with a live ``Generator`` instead of an integer falls
-        back to one worker (the stream is shared, mutable and not
-        thread-safe).  The whole batch runs against the one finder generation
-        captured at entry, even if a refresh lands mid-batch.
+        Identical misses are coalesced and distinct runs execute on a thread
+        pool; responses come back in input order, bit-identical to sequential
+        :meth:`find_regions` calls under a fixed seed.
         """
-        start = time.perf_counter()
-        normalized = [self.normalize_query(query) for query in queries]
-        finder, generation, probabilities, statuses, results, pending = (
-            self._capture_and_classify(normalized)
+        ctx = BatchContext(
+            self._kernel,
+            [self._request(query) for query in queries],
+            max_workers=max_workers,
         )
-        elapsed: List[float] = [0.0] * len(normalized)
-        # Rejected/cached responses cost one classification-loop share each,
-        # not the whole loop's wall clock.
-        per_query_seconds = (time.perf_counter() - start) / max(len(normalized), 1)
-        for index, status in enumerate(statuses):
-            if status in ("rejected", "cached"):
-                elapsed[index] = per_query_seconds
-
-        if pending:
-            distinct = list(pending.items())
-            workers = max_workers if max_workers is not None else self.max_workers
-            if workers is None:
-                workers = min(len(distinct), os.cpu_count() or 1)
-            if self._uses_shared_generator(finder):
-                # A shared live Generator is mutated by every run and is not
-                # thread-safe; concurrent draws could corrupt its state.
-                workers = 1
-
-            def run_timed(item: Tuple[RegionQuery, List[int]]):
-                run_start = time.perf_counter()
-                result = self._run_query(finder, item[0])
-                return result, time.perf_counter() - run_start
-
-            if workers <= 1 or len(distinct) == 1:
-                outcomes = [run_timed(item) for item in distinct]
-            else:
-                with ThreadPoolExecutor(max_workers=workers) as pool:
-                    outcomes = list(pool.map(run_timed, distinct))
-            with self._lock:
-                for (query, indices), (result, seconds) in zip(distinct, outcomes):
-                    self._cache_put(query, result, generation)
-                    for index in indices:
-                        results[index] = result
-                        elapsed[index] = seconds
-
+        self._kernel.serve(ctx)
         return [
             ServiceResponse(
-                query=query,
-                status=status,
-                satisfiability=probability,
-                result=result,
-                elapsed_seconds=seconds,
+                query=state.query,
+                status=state.status,
+                satisfiability=float(state.satisfiability),
+                result=state.result,
+                elapsed_seconds=state.elapsed_seconds,
             )
-            for query, status, probability, result, seconds in zip(
-                normalized, statuses, probabilities, results, elapsed
-            )
+            for state in ctx.states
         ]
 
-    # ------------------------------------------------------------------ online learning
-    def _require_log(self):
-        if self._query_log is None:
-            raise ValidationError(
-                "this service has no query log; construct it with query_log=QueryLog(...)"
-            )
-        return self._query_log
+    def _request(self, query: RegionQuery) -> FindRequest:
+        try:
+            request = self._envelopes.get(query)
+        except TypeError:  # unhashable input: let the isinstance check report it
+            request = None
+        if request is None:
+            if not isinstance(query, RegionQuery):
+                from repro.exceptions import ValidationError
 
+                raise ValidationError(f"expected a RegionQuery, got {type(query)!r}")
+            # The query is already validated and the kernel validated its own
+            # name, so the envelope is built without re-checking either.
+            request = FindRequest._bare(query, self._kernel.name)
+            if len(self._envelopes) >= 4096:
+                self._envelopes.clear()
+            self._envelopes[query] = request
+        return request
+
+    # ------------------------------------------------------------------ online learning
     def observe(self, region, value: float) -> None:
         """Record one externally observed exact evaluation into the query log."""
-        self._require_log().record(region, value)
-        with self._lock:
-            self._stats.harvested += 1
+        self._kernel.observe(region, value)
 
     def observe_many(self, evaluations) -> None:
         """Record a batch of externally observed exact evaluations."""
-        evaluations = list(evaluations)
-        self._require_log().record_many(evaluations)
-        with self._lock:
-            self._stats.harvested += len(evaluations)
-
-    @property
-    def pending_log_entries(self) -> int:
-        """Logged pairs not yet folded into the surrogate by a refresh."""
-        if self._query_log is None:
-            return 0
-        with self._lock:
-            cursor = self._log_cursor
-        return max(0, self._query_log.total_recorded - cursor)
-
-    def _ensure_incremental_trainer(self):
-        if self._incremental_trainer is None:
-            from repro.online.trainer import IncrementalTrainer
-
-            self._incremental_trainer = IncrementalTrainer.from_finder(self._finder)
-        return self._incremental_trainer
+        self._kernel.observe_many(evaluations)
 
     def refresh(self, force_full: bool = False):
         """Fold freshly logged pairs into the surrogate and hot-swap the models.
 
-        Drains the query log past the service's consumption cursor, hands the
-        new pairs to the :class:`~repro.online.IncrementalTrainer` (warm-start
-        rounds, or a full refit when drift was detected or ``force_full``),
-        rebuilds the Eq. 5 satisfiability model from the enlarged sample, and
-        atomically installs a **new finder object** carrying the refreshed
-        state: one pointer swap, a cache clear and a generation bump under the
-        service lock.  In-flight queries complete against the generation they
-        started with; their results are not cached.
-
-        With zero new pairs this is a strict no-op — nothing is swapped, the
-        cache survives, and serving stays bit-identical.  Returns the
-        :class:`~repro.online.RefreshOutcome`.  Concurrent refreshes are
-        serialised on a dedicated lock so training never runs twice over the
-        same pairs.
+        Delegates to :meth:`repro.api.ServiceKernel.refresh`; see there for the
+        swap/generation semantics (unchanged from the monolith).
         """
-        self._require_log()
-        with self._refresh_lock:
-            trainer = self._ensure_incremental_trainer()
-            with self._lock:
-                cursor = self._log_cursor
-            new_pairs, new_cursor = self._query_log.since(cursor)
-            outcome = trainer.refresh(new_pairs, force_full=force_full)
-            if outcome.mode == "noop":
-                with self._lock:
-                    self._log_cursor = new_cursor
-                return outcome
-
-            refreshed = self._swapped_finder(trainer)
-            with self._lock:
-                self._finder = refreshed
-                self._generation += 1
-                self._log_cursor = new_cursor
-                self._cache.clear()
-                self._stats.refreshes += 1
-            return outcome
-
-    def _swapped_finder(self, trainer) -> SuRF:
-        """A new finder carrying the trainer's refreshed state.
-
-        A shallow copy shares the immutable configuration (objective kind,
-        GSO parameters, density model — the KDE describes the raw data, which
-        the log cannot refresh) while the learned state is replaced wholesale.
-        The solution space is re-inferred from the enlarged workload so the
-        swarm can follow evaluations that drift beyond the original bounding
-        box.
-        """
-        workload = trainer.workload
-        refreshed = copy.copy(self._finder)
-        refreshed.surrogate_ = trainer.surrogate
-        refreshed.satisfiability_ = trainer.satisfiability
-        refreshed.workload_features_ = workload.features
-        refreshed.workload_targets_ = workload.targets
-        refreshed.workload_size_ = len(workload)
-        refreshed.solution_space_ = SolutionSpace.from_workload_features(
-            workload.features,
-            min_half_fraction=refreshed.min_half_fraction,
-            max_half_fraction=refreshed.max_half_fraction,
-        )
-        return refreshed
+        return self._kernel.refresh(force_full=force_full)

@@ -34,6 +34,23 @@ def default_estimator(random_state=None) -> GradientBoostingRegressor:
     )
 
 
+def _estimator_from_name(name: str, options: Dict[str, object], random_state) -> BaseEstimator:
+    """Build an estimator from a :data:`repro.ml.SURROGATES` family name.
+
+    The trainer's seed is threaded into families that accept ``random_state``
+    (kNN and the linear models do not) unless the options already pin one.
+    """
+    from repro.ml import SURROGATES
+
+    family = SURROGATES.resolve(name)
+    if "random_state" not in options and random_state is not None:
+        try:
+            return family(**options, random_state=random_state)
+        except TypeError:
+            pass
+    return family(**options)
+
+
 def default_param_grid(small: bool = True) -> Dict[str, Sequence]:
     """Hyper-parameter grid mirroring the paper's GridSearch ranges.
 
@@ -75,7 +92,15 @@ class SurrogateTrainer:
     Parameters
     ----------
     estimator:
-        Prototype regressor; the default gradient-boosted model is used when omitted.
+        Prototype regressor; the default gradient-boosted model is used when
+        omitted.  A string names a family in the :data:`repro.ml.SURROGATES`
+        registry (``"boosting"``, ``"forest"``, ``"knn"``, ``"ridge"``, ...)
+        and may come with ``estimator_options`` — this is what makes trainers
+        constructible from plain config dicts.
+    estimator_options:
+        Keyword arguments for the named estimator family (ignored unless
+        ``estimator`` is a string; ``random_state`` is filled in from the
+        trainer's seed when the family accepts one and none is given).
     hypertune:
         Whether to run grid-search CV before the final fit.
     param_grid:
@@ -96,16 +121,25 @@ class SurrogateTrainer:
 
     def __init__(
         self,
-        estimator: Optional[BaseEstimator] = None,
+        estimator=None,
         hypertune: bool = False,
         param_grid: Optional[Dict[str, Sequence]] = None,
         cv: int = 3,
         holdout_fraction: float = 0.2,
         augment_features: bool = True,
         random_state=None,
+        estimator_options: Optional[Dict[str, object]] = None,
     ):
         if not 0 <= holdout_fraction < 1:
             raise ValidationError(f"holdout_fraction must be in [0, 1), got {holdout_fraction}")
+        if isinstance(estimator, str):
+            estimator = _estimator_from_name(
+                estimator, dict(estimator_options or {}), random_state
+            )
+        elif estimator_options:
+            raise ValidationError(
+                "estimator_options only apply when estimator is a family name"
+            )
         self.estimator = estimator if estimator is not None else default_estimator(random_state)
         self.hypertune = bool(hypertune)
         self.param_grid = dict(param_grid) if param_grid is not None else default_param_grid()

@@ -1,0 +1,146 @@
+"""A tiny string-keyed plugin registry.
+
+Several layers of the library are *families* of interchangeable
+implementations selected by name: region statistics (``"count"``,
+``"average"``, ...), scan backends (``"numpy"``, ``"sqlite"``, ...), surrogate
+estimator families (``"boosting"``, ``"forest"``, ...) and swarm optimisers
+(``"gso"``, ``"pso"``).  Each family keeps one :class:`Registry` instance next
+to its built-in implementations, and :mod:`repro.api.registries` re-exports
+them all, so engines, services and experiments are constructible from plain
+config dicts — and third-party code can plug new implementations in without
+editing the core::
+
+    from repro.api.registries import BACKENDS
+
+    BACKENDS.register("my-store", MyStoreBackend.from_arrays)
+    engine = DataEngine(dataset, statistic, backend="my-store")
+
+Registration is **idempotent**: re-registering the same factory under the same
+name is a no-op, while binding a *different* factory to a taken name raises
+:class:`~repro.exceptions.ValidationError` unless ``replace=True`` is passed —
+so import-order races cannot silently shadow an implementation.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+from repro.exceptions import ValidationError
+
+
+class Registry:
+    """String-keyed factory registry for one family of implementations.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable family name (``"backend"``, ``"statistic"``, ...);
+        used in error messages: ``unknown backend 'parquet'; available: [...]``.
+    """
+
+    def __init__(self, kind: str):
+        self._kind = str(kind)
+        self._entries: Dict[str, Callable] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def kind(self) -> str:
+        """The family name this registry holds implementations of."""
+        return self._kind
+
+    @staticmethod
+    def _key(name: str) -> str:
+        key = str(name).strip().lower()
+        if not key:
+            raise ValidationError("registry names must be non-empty strings")
+        return key
+
+    def register(
+        self,
+        name: str,
+        factory: Optional[Callable] = None,
+        *,
+        replace: bool = False,
+        aliases: Tuple[str, ...] = (),
+    ) -> Callable:
+        """Bind ``factory`` to ``name`` (and any ``aliases``).
+
+        Usable directly or as a decorator (``@REGISTRY.register("name")``).
+        Registering the exact same factory again is a no-op; a different
+        factory under a taken name raises unless ``replace=True``.
+        Returns the factory so decorator use keeps the symbol intact.
+        """
+        if factory is None:
+            return lambda fn: self.register(name, fn, replace=replace, aliases=aliases)
+        if not callable(factory):
+            raise ValidationError(
+                f"{self._kind} factory for {name!r} must be callable, got {type(factory)!r}"
+            )
+        with self._lock:
+            for key in (self._key(name), *(self._key(alias) for alias in aliases)):
+                existing = self._entries.get(key)
+                if existing is not None and existing is not factory and not replace:
+                    raise ValidationError(
+                        f"{self._kind} {key!r} is already registered to a different "
+                        f"factory; pass replace=True to override it"
+                    )
+                self._entries[key] = factory
+        return factory
+
+    def unregister(self, name: str) -> None:
+        """Remove a name (missing names raise, so typos surface)."""
+        key = self._key(name)
+        with self._lock:
+            if key not in self._entries:
+                raise ValidationError(
+                    f"unknown {self._kind} {name!r}; available: {sorted(self._entries)}"
+                )
+            del self._entries[key]
+
+    def resolve(self, name: str) -> Callable:
+        """The factory registered under ``name`` (case-insensitive).
+
+        An already-callable non-string argument passes through untouched, so
+        config fields may hold either a name or a concrete factory.
+        """
+        if not isinstance(name, str) and callable(name):
+            return name
+        key = self._key(name)
+        with self._lock:
+            try:
+                return self._entries[key]
+            except KeyError:
+                raise ValidationError(
+                    f"unknown {self._kind} {name!r}; available: {sorted(self._entries)}"
+                ) from None
+
+    def create(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Resolve ``name`` and call the factory with the given arguments."""
+        return self.resolve(name)(*args, **kwargs)
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered names (including aliases), sorted."""
+        with self._lock:
+            return tuple(sorted(self._entries))
+
+    def __contains__(self, name: object) -> bool:
+        try:
+            key = self._key(name)  # type: ignore[arg-type]
+        except (ValidationError, TypeError):
+            return False
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Registry(kind={self._kind!r}, names={list(self.names())})"
+
+
+__all__ = ["Registry"]

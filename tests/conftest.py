@@ -8,10 +8,18 @@ fast; tests must not mutate them.
 from __future__ import annotations
 
 import os
+import sys
 
 import numpy as np
 import pytest
 from hypothesis import settings
+
+# Make the frozen PR 4 serving monolith (tests/helpers/legacy_service.py)
+# importable from every suite; the API equivalence tests and benchmark use it
+# as the bit-identity / overhead baseline.
+HELPERS_DIR = os.path.join(os.path.dirname(__file__), "helpers")
+if HELPERS_DIR not in sys.path:
+    sys.path.insert(0, HELPERS_DIR)
 
 # One registration point for the Hypothesis profiles (the property files used
 # to each register their own, with import order picking the winner).  The

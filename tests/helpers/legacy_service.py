@@ -1,0 +1,575 @@
+"""FROZEN copy of the PR 4 ``repro.serve.service`` monolith (reference only).
+
+This file is the serving layer exactly as it existed before the PR 5 API
+redesign decomposed it into the :mod:`repro.api` middleware kernel.  It is
+kept verbatim (classes renamed ``Legacy*``) so that
+
+* ``tests/property/test_property_api.py`` can assert the new kernel and the
+  ``SuRFService`` compat shim return **bit-identical** results to the PR 4
+  service on seeded query bursts, and
+* ``benchmarks/test_bench_api.py`` can bound the middleware chain's cached-hit
+  overhead against the monolith's hard-wired path.
+
+Do not fix bugs or add features here — it is a measurement baseline, not a
+serving implementation.  Original module docstring follows.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.finder import RegionSearchResult, SuRF
+from repro.core.query import RegionQuery, SolutionSpace
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.validation import canonical_float
+
+
+@dataclass
+class LegacyServiceStats:
+    """Counters of everything the service did since construction (or ``reset``).
+
+    ``cache_misses`` counts queries that needed a result not in the cache when
+    they arrived; of those, ``coalesced`` were answered by sharing an identical
+    in-flight run inside the same batch, so ``gso_runs`` — actual optimiser
+    executions — equals ``cache_misses - coalesced``.  ``harvested`` counts
+    exact evaluations recorded into the query log through this service — both
+    ground-truthed proposals (``exact_engine``) and externally observed pairs
+    (``observe``/``observe_many``); ``refreshes`` counts how many times a
+    refresh actually swapped in new models.
+    """
+
+    queries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    coalesced: int = 0
+    rejected: int = 0
+    gso_runs: int = 0
+    harvested: int = 0
+    refreshes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of queries answered from the cache (0.0 before any query)."""
+        return self.cache_hits / self.queries if self.queries else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for logs and benchmark tables."""
+        return {
+            "queries": self.queries,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "coalesced": self.coalesced,
+            "rejected": self.rejected,
+            "gso_runs": self.gso_runs,
+            "harvested": self.harvested,
+            "refreshes": self.refreshes,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass(frozen=True)
+class LegacyServiceResponse:
+    """One answered query.
+
+    Attributes
+    ----------
+    query:
+        The normalised query that was served.
+    status:
+        ``"served"`` (a fresh GSO run — possibly shared with identical queries
+        of the same batch), ``"cached"`` (answered from the LRU cache) or
+        ``"rejected"`` (Eq. 5 satisfiability at or below the service's gate;
+        no optimiser run).
+    satisfiability:
+        The Eq. 5 probability estimated for the query.
+    result:
+        The full :class:`~repro.core.finder.RegionSearchResult`, or ``None``
+        when the query was rejected.
+    elapsed_seconds:
+        Wall-clock time the service spent producing this response (for a
+        coalesced batch member, the shared run's time).
+    """
+
+    query: RegionQuery
+    status: str
+    satisfiability: float
+    result: Optional[RegionSearchResult]
+    elapsed_seconds: float
+
+    @property
+    def proposals(self) -> List:
+        """The proposed regions (empty for rejected queries)."""
+        return self.result.proposals if self.result is not None else []
+
+
+class LegacySuRFService:
+    """Serving front-end over one fitted :class:`~repro.core.finder.SuRF`.
+
+    Parameters
+    ----------
+    finder:
+        A fitted finder; typically ``SuRF.load(bundle_path)``.
+    cache_size:
+        Maximum number of query results kept in the LRU cache (0 disables
+        caching; duplicate queries inside one batch are still coalesced).
+    min_satisfiability:
+        Queries whose Eq. 5 probability is **at or below** this value are
+        rejected without running the optimiser.  The default 0.0 rejects
+        exactly the thresholds that no past evaluation ever satisfied.
+    max_proposals:
+        Forwarded to every ``find_regions`` call.
+    max_workers:
+        Default thread-pool width for :meth:`find_regions_batch` (``None``
+        picks ``min(num distinct queries, cpu count)`` per batch).
+    query_log:
+        A :class:`~repro.online.QueryLog` that collects exact evaluations for
+        the online learning loop.  Without one, :meth:`observe` and
+        :meth:`refresh` refuse to run and the service behaves exactly like the
+        offline-only front-end.
+    incremental_trainer:
+        The :class:`~repro.online.IncrementalTrainer` that :meth:`refresh`
+        folds logged pairs with.  Lazily built from the finder's stored
+        workload on the first refresh when omitted.
+    exact_engine:
+        Optional ground-truth back-end (:class:`~repro.data.engine.DataEngine`).
+        When both it and ``query_log`` are set, every fresh GSO run's proposed
+        regions are evaluated *exactly* and the resulting ``([x, l], y)``
+        pairs harvested into the log — the serve→learn loop the paper's
+        "pairs harvested from the query log" implies.  The engine may run on
+        any :mod:`repro.backends` backend — ground-truthing against
+        out-of-core or SQL-resident data is exactly the workload those
+        backends exist for; every backend is thread-safe under the service's
+        worker pool (the sharded backend additionally fans each evaluation
+        out over its own shard pool).  This is the one
+        deliberate exception to "no data access at query time": it is opt-in,
+        feeds only the log (responses still report surrogate predictions), and
+        it runs synchronously inside the GSO run, so every *cold* response
+        additionally pays one exact batch evaluation of its proposals —
+        deployments that cannot afford that (or have no reachable back-end)
+        leave it unset and push externally observed pairs via :meth:`observe`
+        instead.
+    """
+
+    def __init__(
+        self,
+        finder: SuRF,
+        cache_size: int = 128,
+        min_satisfiability: float = 0.0,
+        max_proposals: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        query_log=None,
+        incremental_trainer=None,
+        exact_engine=None,
+    ):
+        if not isinstance(finder, SuRF):
+            raise ValidationError(f"finder must be a SuRF instance, got {type(finder)!r}")
+        if finder.surrogate_ is None or finder.solution_space_ is None:
+            raise NotFittedError("SuRFService requires a fitted SuRF finder")
+        if finder.satisfiability_ is None:
+            raise NotFittedError("SuRFService requires a finder with a satisfiability model")
+        if cache_size < 0:
+            raise ValidationError(f"cache_size must be >= 0, got {cache_size}")
+        if not 0.0 <= min_satisfiability < 1.0:
+            raise ValidationError(
+                f"min_satisfiability must be in [0, 1), got {min_satisfiability}"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise ValidationError(f"max_workers must be >= 1, got {max_workers}")
+        if exact_engine is not None and query_log is None:
+            raise ValidationError("exact_engine requires a query_log to harvest into")
+        self._finder = finder
+        self.cache_size = int(cache_size)
+        self.min_satisfiability = float(min_satisfiability)
+        self.max_proposals = max_proposals
+        self.max_workers = max_workers
+        self._query_log = query_log
+        self._incremental_trainer = incremental_trainer
+        self._exact_engine = exact_engine
+        self._cache: "OrderedDict[RegionQuery, RegionSearchResult]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._refresh_lock = threading.Lock()
+        self._stats = LegacyServiceStats()
+        self._generation = 0
+        self._log_cursor = 0
+
+    @classmethod
+    def from_bundle(cls, path, **kwargs) -> "LegacySuRFService":
+        """Build a service straight from an artifact bundle on disk."""
+        return cls(SuRF.load(path), **kwargs)
+
+    @property
+    def finder(self) -> SuRF:
+        """The finder currently being served (a new object after each swap)."""
+        return self._finder
+
+    @property
+    def query_log(self):
+        """The wired :class:`~repro.online.QueryLog` (``None`` when offline-only)."""
+        return self._query_log
+
+    @property
+    def generation(self) -> int:
+        """How many model swaps this service has performed (0 = as constructed)."""
+        with self._lock:
+            return self._generation
+
+    # ------------------------------------------------------------------ normalisation
+    @staticmethod
+    def normalize_query(query: RegionQuery) -> RegionQuery:
+        """Canonical form of a query, used as the cache key.
+
+        Numeric fields are coerced to plain Python floats and rounded to 12
+        significant digits (:func:`repro.utils.validation.canonical_float`),
+        so e.g. a ``numpy.float64`` threshold, its float twin and a value
+        carrying relative noise below ~1e-13 all hit the same cache entry —
+        thresholds arriving from different front-ends differ by exactly that
+        kind of noise (serialisation round trips, ``float32`` upcasts,
+        arithmetic order).  :class:`RegionQuery` re-validates on construction,
+        and the rounding is idempotent, so normalising twice is a no-op.
+        """
+        if not isinstance(query, RegionQuery):
+            raise ValidationError(f"expected a RegionQuery, got {type(query)!r}")
+        return RegionQuery(
+            threshold=canonical_float(query.threshold),
+            direction=query.direction,
+            size_penalty=canonical_float(query.size_penalty),
+        )
+
+    # ------------------------------------------------------------------ cache internals
+    def _cache_get(self, key: RegionQuery) -> Optional[RegionSearchResult]:
+        """LRU lookup; caller must hold the lock."""
+        result = self._cache.get(key)
+        if result is not None:
+            self._cache.move_to_end(key)
+        return result
+
+    def _cache_put(self, key: RegionQuery, result: RegionSearchResult, generation: int) -> None:
+        """LRU insert with eviction; caller must hold the lock.
+
+        A result computed against a finder generation that has since been
+        swapped out is dropped: caching it would resurrect the stale model's
+        answers after the refresh already invalidated them.
+        """
+        if self.cache_size == 0 or generation != self._generation:
+            return
+        self._cache[key] = result
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    def clear_cache(self) -> None:
+        """Drop every cached result (stats are kept)."""
+        with self._lock:
+            self._cache.clear()
+
+    @property
+    def cached_queries(self) -> int:
+        """Number of results currently held in the cache."""
+        with self._lock:
+            return len(self._cache)
+
+    @property
+    def stats(self) -> ServiceStats:
+        """A snapshot copy of the service counters."""
+        with self._lock:
+            return replace(self._stats)
+
+    def reset_stats(self) -> None:
+        """Zero all counters (the cache is untouched)."""
+        with self._lock:
+            self._stats = LegacyServiceStats()
+
+    def _uses_shared_generator(self, finder: Optional[SuRF] = None) -> bool:
+        """Whether the finder draws from a caller-owned live ``Generator``.
+
+        ``random_state`` may be a live :class:`numpy.random.Generator`
+        (:func:`repro.utils.rng.ensure_rng`); such a stream is shared, mutable
+        and not thread-safe, so batch execution must fall back to one worker.
+        """
+        if finder is None:
+            finder = self._finder
+        parameters = finder.gso_parameters
+        return isinstance(finder.random_state, np.random.Generator) or (
+            parameters is not None and isinstance(parameters.random_state, np.random.Generator)
+        )
+
+    # ------------------------------------------------------------------ serving
+    def _capture_and_classify(self, normalized: Sequence[RegionQuery]):
+        """Snapshot one model generation and classify queries against it.
+
+        Captures ``(finder, generation)`` atomically, probes Eq. 5 outside the
+        lock, then re-verifies the generation before touching the cache: if a
+        refresh swapped models mid-probe, the whole classification retries on
+        the new model rather than pairing an old-generation probability with a
+        new-generation cached result (or vice versa).  Every probability,
+        cache hit and pending GSO run returned here therefore belongs to one
+        single generation.
+
+        Returns ``(finder, generation, probabilities, statuses, results,
+        pending)`` where ``pending`` maps each distinct uncached query to the
+        indices that asked for it (the coalescing map).
+        """
+        statuses: List[str] = [""] * len(normalized)
+        results: List[Optional[RegionSearchResult]] = [None] * len(normalized)
+        pending: "OrderedDict[RegionQuery, List[int]]" = OrderedDict()
+        while True:
+            with self._lock:
+                finder = self._finder
+                generation = self._generation
+            probabilities = [finder.satisfiability(query) for query in normalized]
+            with self._lock:
+                if self._generation != generation:
+                    continue  # a refresh landed mid-probe; retry on the new model
+                for index, (query, probability) in enumerate(zip(normalized, probabilities)):
+                    self._stats.queries += 1
+                    if probability <= self.min_satisfiability:
+                        self._stats.rejected += 1
+                        statuses[index] = "rejected"
+                        continue
+                    cached = self._cache_get(query)
+                    if cached is not None:
+                        self._stats.cache_hits += 1
+                        statuses[index] = "cached"
+                        results[index] = cached
+                        continue
+                    self._stats.cache_misses += 1
+                    statuses[index] = "served"
+                    if query in pending:
+                        self._stats.coalesced += 1
+                    pending.setdefault(query, []).append(index)
+                return finder, generation, probabilities, statuses, results, pending
+
+    def _run_query(self, finder: SuRF, query: RegionQuery) -> RegionSearchResult:
+        """One real GSO run (the only code path that invokes the optimiser).
+
+        Runs against the finder snapshot the caller captured, so a refresh
+        swapping ``self._finder`` mid-run cannot mix model generations inside
+        one result.  When an exact back-end is wired, the run's proposals are
+        ground-truthed and harvested into the query log.
+        """
+        result = finder.find_regions(query, max_proposals=self.max_proposals)
+        harvested = 0
+        if self._exact_engine is not None and self._query_log is not None and result.proposals:
+            from repro.surrogate.workload import RegionEvaluation
+
+            regions = [proposal.region for proposal in result.proposals]
+            values = np.asarray(self._exact_engine.evaluate_many(regions), dtype=np.float64)
+            finite = np.isfinite(values)
+            self._query_log.record_many(
+                [
+                    RegionEvaluation(region, float(value))
+                    for region, value, keep in zip(regions, values, finite)
+                    if keep
+                ]
+            )
+            harvested = int(finite.sum())
+        with self._lock:
+            self._stats.gso_runs += 1
+            self._stats.harvested += harvested
+        return result
+
+    def find_regions(self, query: RegionQuery) -> ServiceResponse:
+        """Serve a single query: gate on Eq. 5, then cache, then GSO.
+
+        Concurrent callers racing on the *same* uncached query may each run the
+        optimiser (the results are identical); use :meth:`find_regions_batch`
+        to coalesce known-duplicate requests.
+        """
+        start = time.perf_counter()
+        query = self.normalize_query(query)
+        finder, generation, probabilities, statuses, results, _ = self._capture_and_classify(
+            [query]
+        )
+        probability, status, result = probabilities[0], statuses[0], results[0]
+        if status == "served":
+            result = self._run_query(finder, query)
+            with self._lock:
+                self._cache_put(query, result, generation)
+        return LegacyServiceResponse(
+            query=query,
+            status=status,
+            satisfiability=probability,
+            result=result,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def find_regions_batch(
+        self,
+        queries: Sequence[RegionQuery],
+        max_workers: Optional[int] = None,
+    ) -> List[ServiceResponse]:
+        """Serve many queries at once, sharing work across them.
+
+        Every query is normalised and classified under one lock acquisition:
+        rejected (Eq. 5), answered from cache, or a miss.  Identical misses are
+        coalesced — each distinct query runs GSO exactly once and all of its
+        duplicates share the result — and the distinct runs execute on a
+        thread pool.  Responses come back in input order and are bit-identical
+        to what sequential :meth:`find_regions` calls would have produced,
+        because each run's RNG stream depends only on the finder's seed.  A
+        finder seeded with a live ``Generator`` instead of an integer falls
+        back to one worker (the stream is shared, mutable and not
+        thread-safe).  The whole batch runs against the one finder generation
+        captured at entry, even if a refresh lands mid-batch.
+        """
+        start = time.perf_counter()
+        normalized = [self.normalize_query(query) for query in queries]
+        finder, generation, probabilities, statuses, results, pending = (
+            self._capture_and_classify(normalized)
+        )
+        elapsed: List[float] = [0.0] * len(normalized)
+        # Rejected/cached responses cost one classification-loop share each,
+        # not the whole loop's wall clock.
+        per_query_seconds = (time.perf_counter() - start) / max(len(normalized), 1)
+        for index, status in enumerate(statuses):
+            if status in ("rejected", "cached"):
+                elapsed[index] = per_query_seconds
+
+        if pending:
+            distinct = list(pending.items())
+            workers = max_workers if max_workers is not None else self.max_workers
+            if workers is None:
+                workers = min(len(distinct), os.cpu_count() or 1)
+            if self._uses_shared_generator(finder):
+                # A shared live Generator is mutated by every run and is not
+                # thread-safe; concurrent draws could corrupt its state.
+                workers = 1
+
+            def run_timed(item: Tuple[RegionQuery, List[int]]):
+                run_start = time.perf_counter()
+                result = self._run_query(finder, item[0])
+                return result, time.perf_counter() - run_start
+
+            if workers <= 1 or len(distinct) == 1:
+                outcomes = [run_timed(item) for item in distinct]
+            else:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    outcomes = list(pool.map(run_timed, distinct))
+            with self._lock:
+                for (query, indices), (result, seconds) in zip(distinct, outcomes):
+                    self._cache_put(query, result, generation)
+                    for index in indices:
+                        results[index] = result
+                        elapsed[index] = seconds
+
+        return [
+            LegacyServiceResponse(
+                query=query,
+                status=status,
+                satisfiability=probability,
+                result=result,
+                elapsed_seconds=seconds,
+            )
+            for query, status, probability, result, seconds in zip(
+                normalized, statuses, probabilities, results, elapsed
+            )
+        ]
+
+    # ------------------------------------------------------------------ online learning
+    def _require_log(self):
+        if self._query_log is None:
+            raise ValidationError(
+                "this service has no query log; construct it with query_log=QueryLog(...)"
+            )
+        return self._query_log
+
+    def observe(self, region, value: float) -> None:
+        """Record one externally observed exact evaluation into the query log."""
+        self._require_log().record(region, value)
+        with self._lock:
+            self._stats.harvested += 1
+
+    def observe_many(self, evaluations) -> None:
+        """Record a batch of externally observed exact evaluations."""
+        evaluations = list(evaluations)
+        self._require_log().record_many(evaluations)
+        with self._lock:
+            self._stats.harvested += len(evaluations)
+
+    @property
+    def pending_log_entries(self) -> int:
+        """Logged pairs not yet folded into the surrogate by a refresh."""
+        if self._query_log is None:
+            return 0
+        with self._lock:
+            cursor = self._log_cursor
+        return max(0, self._query_log.total_recorded - cursor)
+
+    def _ensure_incremental_trainer(self):
+        if self._incremental_trainer is None:
+            from repro.online.trainer import IncrementalTrainer
+
+            self._incremental_trainer = IncrementalTrainer.from_finder(self._finder)
+        return self._incremental_trainer
+
+    def refresh(self, force_full: bool = False):
+        """Fold freshly logged pairs into the surrogate and hot-swap the models.
+
+        Drains the query log past the service's consumption cursor, hands the
+        new pairs to the :class:`~repro.online.IncrementalTrainer` (warm-start
+        rounds, or a full refit when drift was detected or ``force_full``),
+        rebuilds the Eq. 5 satisfiability model from the enlarged sample, and
+        atomically installs a **new finder object** carrying the refreshed
+        state: one pointer swap, a cache clear and a generation bump under the
+        service lock.  In-flight queries complete against the generation they
+        started with; their results are not cached.
+
+        With zero new pairs this is a strict no-op — nothing is swapped, the
+        cache survives, and serving stays bit-identical.  Returns the
+        :class:`~repro.online.RefreshOutcome`.  Concurrent refreshes are
+        serialised on a dedicated lock so training never runs twice over the
+        same pairs.
+        """
+        self._require_log()
+        with self._refresh_lock:
+            trainer = self._ensure_incremental_trainer()
+            with self._lock:
+                cursor = self._log_cursor
+            new_pairs, new_cursor = self._query_log.since(cursor)
+            outcome = trainer.refresh(new_pairs, force_full=force_full)
+            if outcome.mode == "noop":
+                with self._lock:
+                    self._log_cursor = new_cursor
+                return outcome
+
+            refreshed = self._swapped_finder(trainer)
+            with self._lock:
+                self._finder = refreshed
+                self._generation += 1
+                self._log_cursor = new_cursor
+                self._cache.clear()
+                self._stats.refreshes += 1
+            return outcome
+
+    def _swapped_finder(self, trainer) -> SuRF:
+        """A new finder carrying the trainer's refreshed state.
+
+        A shallow copy shares the immutable configuration (objective kind,
+        GSO parameters, density model — the KDE describes the raw data, which
+        the log cannot refresh) while the learned state is replaced wholesale.
+        The solution space is re-inferred from the enlarged workload so the
+        swarm can follow evaluations that drift beyond the original bounding
+        box.
+        """
+        workload = trainer.workload
+        refreshed = copy.copy(self._finder)
+        refreshed.surrogate_ = trainer.surrogate
+        refreshed.satisfiability_ = trainer.satisfiability
+        refreshed.workload_features_ = workload.features
+        refreshed.workload_targets_ = workload.targets
+        refreshed.workload_size_ = len(workload)
+        refreshed.solution_space_ = SolutionSpace.from_workload_features(
+            workload.features,
+            min_half_fraction=refreshed.min_half_fraction,
+            max_half_fraction=refreshed.max_half_fraction,
+        )
+        return refreshed
