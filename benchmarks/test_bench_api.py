@@ -48,6 +48,11 @@ def _overhead_ceiling() -> float:
     return float(os.environ.get("REPRO_API_OVERHEAD_CEILING", "1.10"))
 
 
+def _compiled_speedup_floor() -> float:
+    """Required end-to-end find speedup of the compiled surrogate (acceptance: 5x)."""
+    return float(os.environ.get("REPRO_COMPILED_SPEEDUP_FLOOR", "5.0"))
+
+
 def _speedup_floor() -> float:
     """Required batch-over-sequential speedup (acceptance: 2x, as in PR 2)."""
     return float(os.environ.get("REPRO_API_SPEEDUP_FLOOR", "2.0"))
@@ -151,6 +156,72 @@ def test_bench_batch_throughput_floor_is_retained(api_finder, api_burst):
         f"speedup {speedup:.1f}x (floor {_speedup_floor():.1f}x)"
     )
     assert speedup >= _speedup_floor()
+
+
+def test_bench_compiled_find_speedup(api_finder):
+    """End-to-end ``find`` with the compiled surrogate is >= 5x the recursive one.
+
+    Two finders, identical in every setting except the surrogate family
+    (``boosting`` vs ``compiled-boosting``), fitted on the same workload with
+    the same seed.  Bit-identical proposals are asserted before the latency
+    claim — the compiled kernel buys time, never answers.  The surrogate here
+    is the paper-sized 150-tree ensemble (the ``api_finder`` fixture's 60-tree
+    model is deliberately small for cache benchmarks), and density guidance is
+    off so the measured loop is the pure GSO-over-surrogate query path.
+    ``REPRO_COMPILED_SPEEDUP_FLOOR`` relaxes the floor on noisy shared runners.
+    """
+    engine = make_synthetic_dataset(
+        statistic="density", dim=2, num_regions=2, num_points=5_000, random_state=9
+    )
+    engine = DataEngine(engine.dataset, engine.statistic)
+    workload = generate_workload(engine, 1_000, random_state=0)
+
+    def build(family):
+        finder = SuRF(
+            trainer=SurrogateTrainer(
+                estimator=family,
+                estimator_options={"n_estimators": 150, "max_depth": 5},
+                random_state=0,
+            ),
+            use_density_guidance=False,
+            gso_parameters=GSOParameters(num_particles=64, num_iterations=40, random_state=0),
+            random_state=0,
+        )
+        finder.fit(workload)
+        return finder
+
+    recursive = build("boosting")
+    compiled = build("compiled-boosting")
+    query = RegionQuery(
+        threshold=float(recursive.satisfiability_.quantile(0.8)), direction="above"
+    )
+
+    # Same answer first: positions and proposals must match bit for bit.
+    result_recursive = recursive.find_regions(query)
+    result_compiled = compiled.find_regions(query)
+    assert np.array_equal(
+        result_recursive.optimization.positions, result_compiled.optimization.positions
+    )
+    for lhs, rhs in zip(result_recursive.proposals, result_compiled.proposals):
+        assert np.array_equal(lhs.region.to_vector(), rhs.region.to_vector())
+
+    def best_of(find, rounds=3):
+        samples = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            find(query)
+            samples.append(time.perf_counter() - start)
+        return min(samples)
+
+    recursive_seconds = best_of(recursive.find_regions)
+    compiled_seconds = best_of(compiled.find_regions)
+    speedup = recursive_seconds / compiled_seconds
+    print(
+        f"\nend-to-end find (150 trees, 64x40 GSO): recursive {recursive_seconds * 1e3:.0f}ms, "
+        f"compiled {compiled_seconds * 1e3:.0f}ms, speedup {speedup:.1f}x "
+        f"(floor {_compiled_speedup_floor():.1f}x)"
+    )
+    assert speedup >= _compiled_speedup_floor()
 
 
 def test_bench_multi_tenant_routing_overhead(api_finder, api_burst):

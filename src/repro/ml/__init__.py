@@ -9,6 +9,9 @@ uses, implemented on top of numpy only:
   ``learning_rate``, ``max_depth``, ``n_estimators``, ``reg_lambda``),
 * random forest, k-nearest-neighbours and ridge regression as alternative
   surrogate families,
+* compiled inference (:mod:`repro.ml.compiled`): fitted tree ensembles
+  flattened into structure-of-arrays node tables and traversed by a
+  vectorised level-synchronous kernel, bit-identical to the recursive path,
 * train/test splitting, K-fold cross-validation and grid-search
   hyper-parameter tuning,
 * regression metrics (RMSE, MAE, R²).
@@ -16,6 +19,7 @@ uses, implemented on top of numpy only:
 
 from repro.ml.base import BaseEstimator, clone
 from repro.ml.boosting import GradientBoostingRegressor
+from repro.ml.compiled import CompiledGradientBoostingRegressor, CompiledPredictor
 from repro.ml.forest import RandomForestRegressor
 from repro.ml.knn import KNeighborsRegressor
 from repro.ml.linear import LinearRegression, RidgeRegression
@@ -31,6 +35,7 @@ from repro.utils.registry import Registry
 #: families via ``SURROGATES.register(name, estimator_cls)``.
 SURROGATES = Registry("surrogate family")
 SURROGATES.register("boosting", GradientBoostingRegressor, aliases=("gbrt", "xgboost-like"))
+SURROGATES.register("compiled-boosting", CompiledGradientBoostingRegressor, aliases=("compiled-gbrt",))
 SURROGATES.register("forest", RandomForestRegressor, aliases=("random-forest",))
 SURROGATES.register("tree", DecisionTreeRegressor)
 SURROGATES.register("knn", KNeighborsRegressor)
@@ -42,6 +47,8 @@ __all__ = [
     "clone",
     "DecisionTreeRegressor",
     "GradientBoostingRegressor",
+    "CompiledGradientBoostingRegressor",
+    "CompiledPredictor",
     "RandomForestRegressor",
     "KNeighborsRegressor",
     "LinearRegression",

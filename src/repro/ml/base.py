@@ -83,6 +83,45 @@ class BaseEstimator(ABC):
         if not hasattr(self, attribute) or getattr(self, attribute) is None:
             raise NotFittedError(f"{type(self).__name__} must be fitted before calling predict()")
 
+    # ------------------------------------------------------------------ compiled inference
+    def compile(self, force: bool = False):
+        """Compile this fitted estimator into a flat SoA predictor and cache it.
+
+        Returns the cached :class:`~repro.ml.compiled.CompiledPredictor` when
+        one exists (pass ``force=True`` to rebuild), otherwise flattens the
+        fitted trees once and stores the result on the estimator — so the
+        predictor pickles (and ships inside artifact bundles) with the model.
+        Raises :class:`~repro.exceptions.ValidationError` for estimator
+        families the compiler does not support or for unfitted estimators;
+        probe with :meth:`repro.ml.compiled.CompiledPredictor.compilable`.
+        """
+        from repro.ml.compiled import CompiledPredictor
+
+        cached = getattr(self, "_compiled", None)
+        if cached is None or force:
+            cached = CompiledPredictor(self)
+            self._compiled = cached
+        return cached
+
+    def compiled_predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict through the compiled kernel (compiling on first use).
+
+        Bit-identical to :meth:`predict` for compilable families — see
+        :mod:`repro.ml.compiled`.
+        """
+        return self.compile().predict(features)
+
+    def _invalidate_compiled(self) -> None:
+        """Drop any cached compiled predictor.  Every ``fit`` path must call
+        this so the compiled tables can never go stale behind a refit (or a
+        warm-start continuation, which appends trees to the live ensemble)."""
+        self._compiled = None
+
+    @property
+    def is_compiled(self) -> bool:
+        """Whether a compiled predictor is currently cached on this estimator."""
+        return getattr(self, "_compiled", None) is not None
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
         return f"{type(self).__name__}({params})"

@@ -103,6 +103,10 @@ class GradientBoostingRegressor(BaseEstimator):
                     f"warm_start requires n_estimators > the {len(self._trees)} trees already "
                     f"fitted, got n_estimators={self.n_estimators}"
                 )
+        # Invalidate on entry as well as on exit: a warm-start continuation
+        # calls self.predict() below, which would otherwise cache a compiled
+        # predictor of the mid-fit ensemble while new trees are still pending.
+        self._invalidate_compiled()
         rng = ensure_rng(self.random_state)
         self._num_features = features.shape[1]
 
@@ -176,6 +180,7 @@ class GradientBoostingRegressor(BaseEstimator):
                     rounds_without_improvement += 1
                     if rounds_without_improvement >= int(self.early_stopping_rounds):
                         break
+        self._invalidate_compiled()
         return self
 
     def _validate_hyper_parameters(self) -> None:

@@ -56,6 +56,7 @@ class RandomForestRegressor(BaseEstimator):
         features, targets = self._validate_fit_inputs(features, targets)
         if int(self.n_estimators) < 1:
             raise ValidationError(f"n_estimators must be >= 1, got {self.n_estimators}")
+        self._invalidate_compiled()
         rng = ensure_rng(self.random_state)
         self._num_features = features.shape[1]
         max_features = self.max_features

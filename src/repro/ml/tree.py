@@ -136,6 +136,7 @@ class DecisionTreeRegressor(BaseEstimator):
     def _fit_binned(self, binned: _BinnedData, targets: np.ndarray) -> "DecisionTreeRegressor":
         """Fit from pre-binned features (shared by :class:`GradientBoostingRegressor`)."""
         self._validate_hyper_parameters()
+        self._invalidate_compiled()
         self._num_features = binned.num_features
         self._rng = ensure_rng(self.random_state)
         self.node_count_ = 0
@@ -239,32 +240,44 @@ class DecisionTreeRegressor(BaseEstimator):
         return predictions
 
     def _predict_into(self, node: _Node, features: np.ndarray, indices: np.ndarray, out: np.ndarray) -> None:
-        if node.is_leaf or indices.size == 0:
-            out[indices] = node.value
-            return
-        mask = features[indices, node.feature] <= node.threshold
-        self._predict_into(node.left, features, indices[mask], out)
-        self._predict_into(node.right, features, indices[~mask], out)
+        # Iterative with an explicit stack: recursion would consume one Python
+        # frame per split level, and an unconstrained depth-first chain (e.g.
+        # max_depth=None-style fits on monotone targets) can approach the
+        # interpreter's recursion limit.
+        stack = [(node, indices)]
+        while stack:
+            node, indices = stack.pop()
+            if node.is_leaf or indices.size == 0:
+                out[indices] = node.value
+                continue
+            mask = features[indices, node.feature] <= node.threshold
+            stack.append((node.right, indices[~mask]))
+            stack.append((node.left, indices[mask]))
 
     # ------------------------------------------------------------------ introspection
     def depth(self) -> int:
         """Actual depth of the fitted tree."""
         self._check_fitted("_root")
-
-        def _depth(node: _Node) -> int:
+        deepest = 0
+        stack = [(self._root, 0)]
+        while stack:
+            node, level = stack.pop()
             if node.is_leaf:
-                return 0
-            return 1 + max(_depth(node.left), _depth(node.right))
-
-        return _depth(self._root)
+                deepest = max(deepest, level)
+            else:
+                stack.append((node.left, level + 1))
+                stack.append((node.right, level + 1))
+        return deepest
 
     def num_leaves(self) -> int:
         """Number of leaves in the fitted tree."""
         self._check_fitted("_root")
-
-        def _leaves(node: _Node) -> int:
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
             if node.is_leaf:
-                return 1
-            return _leaves(node.left) + _leaves(node.right)
-
-        return _leaves(self._root)
+                count += 1
+            else:
+                stack.extend((node.left, node.right))
+        return count

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.data.regions import Region
 from repro.exceptions import NotFittedError, ValidationError
+from repro.ml.compiled import CompiledPredictor
 from repro.surrogate.model import SurrogateModel
 from repro.surrogate.workload import RegionEvaluation, RegionWorkload
 
@@ -40,7 +41,11 @@ BUNDLE_FORMAT = "surf-bundle"
 #: to reconstruct its cumulative training workload; version-1 bundles load
 #: with targets absent (``workload_targets_ is None`` — serving works, but
 #: any online refresh, incremental or full, refuses with ``NotFittedError``).
-BUNDLE_VERSION = 2
+#: Version 3 ships the surrogate's compiled SoA node tables inside the pickled
+#: estimator (:mod:`repro.ml.compiled`), so a loaded bundle serves queries
+#: through the vectorised kernel without paying recompilation; versions 1–2
+#: still load (the estimator simply recompiles lazily on first use).
+BUNDLE_VERSION = 3
 
 
 def save_workload(workload: RegionWorkload, path: PathLike) -> Path:
@@ -115,6 +120,11 @@ def save_bundle(finder: "SuRF", path: PathLike) -> Path:
         raise ValidationError(f"expected a SuRF finder, got {type(finder)!r}")
     if finder.surrogate_ is None or finder.solution_space_ is None:
         raise NotFittedError("only a fitted SuRF can be saved to a bundle")
+    # Ship the compiled SoA tables inside the bundle: compiling is cheap at
+    # save time and free at load time, so served models never recompile.
+    estimator = getattr(finder.surrogate_, "estimator", None)
+    if estimator is not None and CompiledPredictor.compilable(estimator):
+        estimator.compile()
     payload = {
         "format": BUNDLE_FORMAT,
         "version": BUNDLE_VERSION,

@@ -51,6 +51,23 @@ def _estimator_from_name(name: str, options: Dict[str, object], random_state) ->
     return family(**options)
 
 
+def _compile_if_possible(estimator: BaseEstimator) -> None:
+    """Eagerly compile a freshly fitted tree ensemble into SoA tables.
+
+    Called at the end of :meth:`SurrogateTrainer.train` and
+    :meth:`SurrogateTrainer.train_incremental` so surrogates come out of the
+    trainer query-ready: the GSO loop (and any serving layer) predicts through
+    the compiled kernel from the first call, and warm-start refreshes hand back
+    a recompiled ensemble rather than a stale one (``fit`` invalidates the
+    cache; this rebuilds it).  Families without a compiled form (kNN, linear)
+    pass through untouched.
+    """
+    from repro.ml.compiled import CompiledPredictor
+
+    if CompiledPredictor.compilable(estimator):
+        estimator.compile()
+
+
 def default_param_grid(small: bool = True) -> Dict[str, Sequence]:
     """Hyper-parameter grid mirroring the paper's GridSearch ranges.
 
@@ -229,6 +246,7 @@ class SurrogateTrainer:
             test_rmse=test_rmse,
             cv_results=cv_results,
         )
+        _compile_if_possible(fitted)
         return SurrogateModel(fitted, workload.region_dim, augment_features=self.augment_features)
 
     def train_incremental(
@@ -303,6 +321,7 @@ class SurrogateTrainer:
             train_rmse=train_rmse,
             test_rmse=None,
         )
+        _compile_if_possible(estimator)
         return SurrogateModel(
             estimator, workload.region_dim, augment_features=surrogate.augments_features
         )

@@ -144,6 +144,54 @@ class TestWarmStartRng:
         assert result.optimization.num_iterations > 0
 
 
+class TestCompiledSurrogateEquivalence:
+    """The compiled surrogate family must not change *what* SuRF finds — only
+    how fast.  Same seed, same workload: bit-identical proposals."""
+
+    @staticmethod
+    def _fitted(density_workload, family):
+        finder = SuRF(
+            trainer=SurrogateTrainer(
+                estimator=family,
+                estimator_options={"n_estimators": 25, "max_depth": 3},
+                random_state=0,
+            ),
+            use_density_guidance=False,
+            gso_parameters=GSOParameters(num_particles=30, num_iterations=20, random_state=0),
+            random_state=0,
+        )
+        finder.fit(density_workload)
+        return finder
+
+    def test_find_proposals_bit_identical_to_recursive_family(self, density_workload, density_query):
+        recursive = self._fitted(density_workload, "boosting")
+        compiled = self._fitted(density_workload, "compiled-boosting")
+        result_recursive = recursive.find_regions(density_query)
+        result_compiled = compiled.find_regions(density_query)
+
+        assert result_compiled.num_regions == result_recursive.num_regions
+        np.testing.assert_array_equal(
+            result_compiled.optimization.positions, result_recursive.optimization.positions
+        )
+        for ours, theirs in zip(result_compiled.proposals, result_recursive.proposals):
+            np.testing.assert_array_equal(ours.vector, theirs.vector)
+            assert ours.predicted_value == theirs.predicted_value
+
+    def test_reloaded_bundle_reproduces_compiled_proposals(
+        self, density_workload, density_query, tmp_path
+    ):
+        finder = self._fitted(density_workload, "compiled-boosting")
+        expected = finder.find_regions(density_query)
+        path = finder.save(tmp_path / "compiled.surf")
+        reloaded = SuRF.load(path)
+        # The bundle ships the compiled SoA tables: no lazy recompile on load.
+        assert reloaded.surrogate_.estimator.is_compiled
+        result = reloaded.find_regions(density_query)
+        assert result.num_regions == expected.num_regions
+        for ours, theirs in zip(result.proposals, expected.proposals):
+            np.testing.assert_array_equal(ours.vector, theirs.vector)
+
+
 class TestConfigurationVariants:
     def test_ratio_objective_variant_runs(self, density_workload, density_query, fast_trainer):
         finder = SuRF(

@@ -73,6 +73,37 @@ class TestSurrogatePersistence:
             load_surrogate(path)
 
 
+class TestBundleCompiledTables:
+    def test_bundle_round_trips_compiled_tables(self, fitted_surf, tmp_path):
+        # save_bundle pre-compiles the surrogate, so a loaded bundle answers
+        # through the SoA kernel without recompiling — and bit-identically.
+        path = fitted_surf.save(tmp_path / "finder.bundle")
+        estimator = fitted_surf.surrogate_.estimator
+        assert estimator.is_compiled  # compiled at save time
+
+        from repro.surrogate.persistence import load_bundle
+
+        reloaded = load_bundle(path)
+        restored = reloaded.surrogate_.estimator
+        assert restored.is_compiled  # tables travelled inside the bundle
+        probe = np.random.default_rng(0).uniform(0.1, 0.9, size=(25, restored._compiled.num_features))
+        np.testing.assert_array_equal(
+            restored._compiled.predict(probe), estimator.compiled_predict(probe)
+        )
+        np.testing.assert_array_equal(restored._compiled.predict(probe), restored.predict(probe))
+
+    def test_bundle_version_is_3(self, fitted_surf, tmp_path):
+        import pickle
+
+        from repro.surrogate.persistence import BUNDLE_VERSION
+
+        assert BUNDLE_VERSION == 3
+        path = fitted_surf.save(tmp_path / "finder.bundle")
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        assert payload["version"] == 3
+
+
 class TestRunnerCli:
     def test_parser_accepts_known_scale(self):
         args = build_parser().parse_args(["fig8", "--scale", "small"])
