@@ -1,0 +1,229 @@
+"""Load benchmark: the async front door under a concurrent mixed-tenant storm.
+
+Drives ``REPRO_LOAD_QUERIES`` (default 1,000) concurrent queries through the
+:class:`~repro.api.asgi.AsgiApp` — two tenants, mixed cached / cold /
+rejected traffic, all multiplexed on one asyncio event loop — while a
+background thread hot-swaps **both** tenants' models mid-storm via
+``ModelRegistry.refresh_all``.  Asserted outcomes:
+
+* every response is a valid verdict (``served`` / ``cached`` / ``rejected``)
+  — no errors, no dropped requests;
+* latency ceilings hold: p50 <= ``REPRO_LOAD_P50_FLOOR`` (default 5.0 s) and
+  p99 <= ``REPRO_LOAD_P99_FLOOR`` (default 20.0 s).  Latency is measured from
+  task creation under a closed burst, so queueing behind the thread pool's
+  GSO runs is included; the loose defaults catch event-loop starvation and
+  lock convoys, not absolute speed, and the env overrides relax them further
+  on noisy shared CI runners;
+* the refresh really raced the storm: both generations bumped, and responses
+  from *both* the pre- and post-swap generation were served;
+* **zero cross-generation cache pollution**: after the storm, every result
+  still in either tenant's cache re-predicts bit-identically under that
+  tenant's *current* surrogate — a stale generation's answer surviving the
+  swap would mismatch.
+"""
+
+import asyncio
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import AsgiApp, ModelRegistry, asgi_request
+from repro.core.finder import SuRF
+from repro.data.engine import DataEngine
+from repro.data.synthetic import make_synthetic_dataset
+from repro.ml.boosting import GradientBoostingRegressor
+from repro.online import QueryLog
+from repro.optim.gso import GSOParameters
+from repro.surrogate.training import SurrogateTrainer
+from repro.surrogate.workload import generate_workload
+
+
+def _load_queries() -> int:
+    return int(os.environ.get("REPRO_LOAD_QUERIES", "1000"))
+
+
+def _p50_ceiling() -> float:
+    return float(os.environ.get("REPRO_LOAD_P50_FLOOR", "5.0"))
+
+
+def _p99_ceiling() -> float:
+    return float(os.environ.get("REPRO_LOAD_P99_FLOOR", "20.0"))
+
+
+#: Distinct satisfiable thresholds per tenant (the rest of the traffic repeats
+#: them, which is what the cache and coalescing exist for).
+DISTINCT_PER_TENANT = 6
+
+
+@pytest.fixture(scope="module")
+def load_world():
+    """Two fitted tenants on one dataset, their engine, and a threshold band."""
+    synthetic = make_synthetic_dataset(
+        statistic="density", dim=2, num_regions=2, num_points=4_000, random_state=17
+    )
+    engine = DataEngine(synthetic.dataset, synthetic.statistic)
+    workload = generate_workload(engine, 800, random_state=0)
+
+    def fit(random_state: int) -> SuRF:
+        finder = SuRF(
+            trainer=SurrogateTrainer(
+                estimator=GradientBoostingRegressor(
+                    n_estimators=40, max_depth=4, random_state=random_state
+                ),
+                random_state=random_state,
+            ),
+            gso_parameters=GSOParameters(
+                num_particles=30, num_iterations=20, random_state=random_state
+            ),
+            random_state=random_state,
+            use_density_guidance=False,
+        )
+        return finder.fit(workload)
+
+    return {"engine": engine, "finders": (fit(0), fit(1))}
+
+
+def percentile(samples, q: float) -> float:
+    return float(np.percentile(np.asarray(samples, dtype=np.float64), q))
+
+
+def test_bench_load_concurrent_storm_with_hot_swap(benchmark, load_world):
+    engine = load_world["engine"]
+    finder_a, finder_b = load_world["finders"]
+
+    registry = ModelRegistry()
+    registry.register("alpha", finder_a, cache_size=128, query_log=QueryLog(capacity=100_000))
+    registry.register("beta", finder_b, cache_size=128, query_log=QueryLog(capacity=100_000))
+    app = AsgiApp(registry)
+
+    satisfiability = finder_a.satisfiability_
+    thresholds = [
+        satisfiability.quantile(q)
+        for q in np.linspace(0.70, 0.85, DISTINCT_PER_TENANT)
+    ]
+    hopeless = satisfiability.quantile(1.0) * 10.0
+
+    total = _load_queries()
+    tail_start = (total * 4) // 5  # last 20% waits for the swap to land
+    completed = [0]
+    refresh_info = {}
+    # Ground-truth pairs are generated up front so the refresher thread spends
+    # its time training and swapping, not evaluating regions.
+    fresh = list(generate_workload(engine, 80, random_state=99))
+
+    def run_storm():
+        latencies = []
+        statuses = []
+        generations = []
+        loop = asyncio.new_event_loop()
+        refresh_done = asyncio.Event()
+
+        def refresher() -> None:
+            # Hot-swap every tenant once the storm is genuinely in flight;
+            # the front of the storm keeps serving throughout the refresh.
+            try:
+                while completed[0] < max(1, total // 20):
+                    time.sleep(0.002)
+                registry.get("alpha").observe_many(fresh)
+                registry.get("beta").observe_many(fresh)
+                outcomes = registry.refresh_all()
+                refresh_info["outcomes"] = outcomes
+                refresh_info["completed_at"] = completed[0]
+            finally:
+                # Always release the tail, even on failure — a hung event
+                # loop would mask the actual error.
+                loop.call_soon_threadsafe(refresh_done.set)
+
+        async def one(index: int):
+            if index >= tail_start:
+                await refresh_done.wait()
+            tenant = "alpha" if index % 2 == 0 else "beta"
+            if index % 97 == 0:  # a sprinkle of hopeless (rejected) traffic
+                threshold = hopeless
+            else:
+                threshold = thresholds[index % DISTINCT_PER_TENANT]
+            start = time.perf_counter()
+            response = await asgi_request(
+                app,
+                "POST",
+                "/find",
+                json_body={"threshold": threshold, "model": tenant},
+            )
+            latencies.append(time.perf_counter() - start)
+            payload = response.json()
+            statuses.append(payload["status"])
+            generations.append(payload["generation"])
+            completed[0] += 1
+            assert response.status == 200, payload
+
+        async def storm():
+            await asyncio.gather(*(one(index) for index in range(total)))
+
+        swap_thread = threading.Thread(target=refresher)
+        swap_thread.start()
+        try:
+            loop.run_until_complete(storm())
+        finally:
+            swap_thread.join(timeout=120.0)
+            loop.close()
+        return latencies, statuses, generations
+
+    latencies, statuses, generations = benchmark.pedantic(run_storm, rounds=1, iterations=1)
+
+    # Every request came back with a valid verdict — nothing errored or hung.
+    assert len(statuses) == total
+    assert set(statuses) <= {"served", "cached", "rejected"}
+    assert statuses.count("rejected") == len([i for i in range(total) if i % 97 == 0])
+
+    # The hot swap really raced the storm.
+    assert set(refresh_info["outcomes"]) == {"alpha", "beta"}
+    assert refresh_info["completed_at"] < total
+    assert registry.get("alpha").generation >= 1
+    assert registry.get("beta").generation >= 1
+    assert min(generations) == 0, "no response was served by the original generation"
+    assert max(generations) >= 1, "no response was served by the refreshed generation"
+
+    # Latency ceilings (loose by design; see module docstring).
+    p50 = percentile(latencies, 50)
+    p99 = percentile(latencies, 99)
+    assert p50 <= _p50_ceiling(), f"p50 {p50:.3f}s exceeds ceiling {_p50_ceiling()}s"
+    assert p99 <= _p99_ceiling(), f"p99 {p99:.3f}s exceeds ceiling {_p99_ceiling()}s"
+
+    # Zero cross-generation cache pollution: everything still cached must
+    # re-predict bit-identically under the *current* surrogate.
+    polluted = 0
+    cached_results = 0
+    for name in registry.names():
+        kernel = registry.get(name)
+        with kernel._lock:
+            surrogate = kernel._finder.surrogate_
+            entries = list(kernel._cache.values())
+        for result in entries:
+            cached_results += 1
+            for proposal in result.proposals:
+                prediction = surrogate.predict_vector(proposal.region.to_vector())
+                if prediction != proposal.predicted_value:
+                    polluted += 1
+    assert cached_results > 0
+    assert polluted == 0, f"{polluted} cached proposals predict under a stale generation"
+
+    from conftest import attach_rows
+
+    attach_rows(
+        benchmark,
+        {
+            "queries": total,
+            "served": statuses.count("served"),
+            "cached": statuses.count("cached"),
+            "rejected": statuses.count("rejected"),
+            "p50_seconds": round(p50, 4),
+            "p99_seconds": round(p99, 4),
+            "max_seconds": round(max(latencies), 4),
+            "generations_seen": sorted(set(generations)),
+            "cached_results_checked": cached_results,
+        },
+        title="ASGI front door under load (mixed tenants, refresh mid-storm)",
+    )

@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Serving under load: the ASGI front door, load control and hot swaps.
+
+This example stands up the full production serving story at a small scale:
+
+1. **Two tenants** are fitted and registered in a
+   :class:`~repro.api.ModelRegistry`; each kernel runs the *production chain*
+   — ``Normalize → RateLimit → SatisfiabilityGate → Deadline → Cache →
+   Coalesce → AdmissionControl → Execute → Harvest`` — so overload turns
+   into explicit per-request verdicts instead of unbounded queueing.
+2. **The ASGI app** (:class:`~repro.api.AsgiApp`) serves both tenants over
+   HTTP/JSON.  A burst of concurrent queries is driven through it in-process
+   (no sockets) on one asyncio event loop, while a refresh **hot-swaps** a
+   tenant's model mid-burst.
+3. **Degraded verdicts map to HTTP statuses**: a throttled tenant answers
+   ``429``, an expired deadline ``504`` — the body always carries the full
+   :class:`~repro.api.FindResponse` envelope.
+4. **The stdlib dev server** (:class:`~repro.api.HttpFrontDoor`) serves the
+   same app over a real loopback socket for one smoke request.
+
+Every step asserts its outcome, so this file doubles as the CI smoke test
+for the serving-under-load path.  Run with ``python examples/load.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import time
+
+from repro.api import (
+    AdmissionControl,
+    AsgiApp,
+    Deadline,
+    HttpFrontDoor,
+    ModelRegistry,
+    RateLimit,
+    asgi_request,
+    production_chain,
+)
+from repro.core.finder import SuRF
+from repro.data import DataEngine, make_synthetic_dataset
+from repro.ml.boosting import GradientBoostingRegressor
+from repro.online import QueryLog
+from repro.optim.gso import GSOParameters
+from repro.surrogate.training import SurrogateTrainer
+from repro.surrogate.workload import generate_workload
+
+
+def fit_tenant(engine, random_state: int) -> SuRF:
+    finder = SuRF(
+        trainer=SurrogateTrainer(
+            estimator=GradientBoostingRegressor(
+                n_estimators=40, max_depth=4, random_state=random_state
+            ),
+            random_state=random_state,
+        ),
+        gso_parameters=GSOParameters(
+            num_particles=30, num_iterations=20, random_state=random_state
+        ),
+        random_state=random_state,
+        use_density_guidance=False,
+    )
+    return finder.fit(generate_workload(engine, 600, random_state=random_state))
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ tenants
+    synthetic = make_synthetic_dataset(
+        statistic="density", dim=2, num_regions=2, num_points=4_000, random_state=11
+    )
+    engine = DataEngine(synthetic.dataset, synthetic.statistic)
+    print("fitting two tenants ...")
+    finder_a = fit_tenant(engine, random_state=0)
+    finder_b = fit_tenant(engine, random_state=1)
+
+    registry = ModelRegistry()
+    registry.register(
+        "crimes/count",
+        finder_a,
+        cache_size=64,
+        query_log=QueryLog(capacity=50_000),
+        middleware=production_chain(
+            deadline=Deadline(default_budget=30.0),
+            admission=AdmissionControl(max_inflight=8, max_queue=16),
+        ),
+    )
+    # The second tenant is aggressively rate-limited to demonstrate 429s.
+    registry.register(
+        "sensors/average",
+        finder_b,
+        cache_size=64,
+        middleware=production_chain(rate_limit=RateLimit(rate=0.5, capacity=2)),
+    )
+    app = AsgiApp(registry)
+
+    threshold = finder_a.satisfiability_.quantile(0.75)
+
+    # ------------------------------------------------------------------ the burst
+    async def burst():
+        start = time.perf_counter()
+        health = await asgi_request(app, "GET", "/healthz")
+        assert health.status == 200 and health.json()["models"] == [
+            "crimes/count",
+            "sensors/average",
+        ]
+
+        async def one(index: int):
+            return await asgi_request(
+                app,
+                "POST",
+                "/find",
+                json_body={
+                    "threshold": threshold * (1 + 0.01 * (index % 5)),
+                    "model": "crimes/count",
+                    "trace_id": f"req-{index}",
+                },
+            )
+
+        async def swap():
+            # Hot-swap the tenant while the burst is in flight: log fresh
+            # ground truth, then refresh off the event loop.
+            kernel = registry.get("crimes/count")
+            kernel.observe_many(list(generate_workload(engine, 60, random_state=7)))
+            await asyncio.to_thread(registry.refresh, "crimes/count")
+
+        results = await asyncio.gather(*(one(i) for i in range(120)), swap())
+        responses = [r.json() for r in results[:-1]]
+        # A second wave after the swap: the same thresholds now re-run against
+        # the refreshed model (the hot swap cleared the cache atomically).
+        second_wave = await asyncio.gather(*(one(i) for i in range(120, 126)))
+        responses.extend(r.json() for r in second_wave)
+        seconds = time.perf_counter() - start
+        return responses, seconds
+
+    responses, seconds = asyncio.run(burst())
+    statuses = [r["status"] for r in responses]
+    generations = sorted({r["generation"] for r in responses})
+    print(
+        f"burst: {len(responses)} queries in {seconds:.2f}s — "
+        f"{statuses.count('served')} served, {statuses.count('cached')} cached, "
+        f"generations seen: {generations}"
+    )
+    assert set(statuses) <= {"served", "cached"}, set(statuses)
+    assert registry.get("crimes/count").generation == 1
+    assert generations == [0, 1], generations
+    assert [r["trace_id"] for r in responses] == [f"req-{i}" for i in range(126)]
+
+    # ------------------------------------------------------------------ degraded verdicts
+    async def degraded():
+        limited = [
+            await asgi_request(
+                app,
+                "POST",
+                "/find",
+                json_body={"threshold": threshold * (1 + 0.01 * i), "model": "sensors/average"},
+            )
+            for i in range(4)
+        ]
+        expired = await asgi_request(
+            app,
+            "POST",
+            "/find",
+            json_body={
+                "threshold": threshold * 2.0,
+                "model": "crimes/count",
+                "deadline_seconds": 1e-9,
+            },
+        )
+        return limited, expired
+
+    limited, expired = asyncio.run(degraded())
+    assert [r.status for r in limited[:2]] == [200, 200]
+    assert all(r.status == 429 for r in limited[2:]), [r.status for r in limited]
+    assert all(r.json()["status"] == "throttled" for r in limited[2:])
+    assert expired.status == 504 and expired.json()["status"] == "timeout"
+    print(
+        "degraded verdicts: burst capacity 2 -> third request onward 429 (throttled); "
+        "1ns budget -> 504 (timeout)"
+    )
+
+    stats = registry.get("sensors/average").stats
+    assert stats.throttled == 2, stats.as_dict()
+
+    # ------------------------------------------------------------------ real socket
+    with HttpFrontDoor(app) as door:
+        connection = http.client.HTTPConnection("127.0.0.1", door.port, timeout=30)
+        try:
+            connection.request(
+                "POST",
+                "/find",
+                body=json.dumps({"threshold": threshold, "model": "crimes/count"}),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 200 and payload["status"] in ("served", "cached")
+        finally:
+            connection.close()
+    print(f"stdlib dev server answered on port {door.port}: {payload['status']}")
+    registry.close()
+    print("load example OK")
+
+
+if __name__ == "__main__":
+    main()

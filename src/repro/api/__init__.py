@@ -22,6 +22,14 @@ composable layers:
    tenants), routes requests by model name and drives per-model
    refresh/hot-swap from the online-learning loop.
 
+On top of those sit the **load-control stages** (:mod:`repro.api.admission`:
+per-request deadlines, per-tenant token-bucket rate limiting,
+satisfiability-ranked admission control), a **process-pool execute stage**
+(:mod:`repro.api.execution`) that runs GSO outside the GIL with bit-identical
+results, and the **async front door** (:mod:`repro.api.asgi`): a
+dependency-free ASGI app serving the envelopes over HTTP/JSON, with an
+in-process test client and a stdlib dev server.
+
 Plus the **declarative registries** (:mod:`repro.api.registries`): statistics,
 backends, surrogate families and optimisers are all string-keyed plugin
 registries, so engines, services and experiments are constructible from plain
@@ -38,9 +46,25 @@ Quickstart::
         print(proposal.center, proposal.predicted_value)
 """
 
-from repro.api.envelopes import DEFAULT_MODEL, FindRequest, FindResponse, ProposalPayload
+from repro.api.admission import (
+    AdmissionControl,
+    Deadline,
+    RateLimit,
+    TokenBucket,
+    production_chain,
+)
+from repro.api.asgi import AsgiApp, HttpFrontDoor, asgi_request
+from repro.api.envelopes import (
+    DEFAULT_MODEL,
+    RESPONSE_STATUSES,
+    FindRequest,
+    FindResponse,
+    ProposalPayload,
+)
+from repro.api.execution import ProcessExecute
 from repro.api.kernel import ServiceKernel, ServiceStats
 from repro.api.middleware import (
+    PRE_GATE_STATUSES,
     BatchContext,
     Cache,
     Coalesce,
@@ -72,6 +96,8 @@ from repro.api.tenancy import ModelRegistry
 
 __all__ = [
     "DEFAULT_MODEL",
+    "RESPONSE_STATUSES",
+    "PRE_GATE_STATUSES",
     "FindRequest",
     "FindResponse",
     "ProposalPayload",
@@ -90,6 +116,15 @@ __all__ = [
     "Coalesce",
     "Execute",
     "Harvest",
+    "Deadline",
+    "TokenBucket",
+    "RateLimit",
+    "AdmissionControl",
+    "production_chain",
+    "ProcessExecute",
+    "AsgiApp",
+    "HttpFrontDoor",
+    "asgi_request",
     "Registry",
     "STATISTICS",
     "BACKENDS",

@@ -69,6 +69,12 @@ class FindRequest:
         Per-request cap on returned proposals (``None`` = the model's default).
     trace_id:
         Opaque caller-supplied correlation id, echoed on the response.
+    deadline_seconds:
+        Per-request latency budget.  Honoured when the serving chain contains
+        a :class:`~repro.api.admission.Deadline` stage: a request that cannot
+        be answered within its budget comes back with status ``"timeout"``
+        instead of blocking the caller (``None`` = the stage's default budget,
+        or no budget at all when the chain has no deadline stage).
     """
 
     threshold: float
@@ -77,6 +83,7 @@ class FindRequest:
     model: str = DEFAULT_MODEL
     max_proposals: Optional[int] = None
     trace_id: Optional[str] = None
+    deadline_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         # RegionQuery owns the numeric validation; building it here surfaces
@@ -96,6 +103,13 @@ class FindRequest:
             object.__setattr__(self, "max_proposals", int(self.max_proposals))
         if self.trace_id is not None and not isinstance(self.trace_id, str):
             raise ValidationError(f"trace_id must be a string, got {type(self.trace_id)!r}")
+        if self.deadline_seconds is not None:
+            budget = float(self.deadline_seconds)
+            if not budget > 0.0:
+                raise ValidationError(
+                    f"deadline_seconds must be > 0, got {self.deadline_seconds}"
+                )
+            object.__setattr__(self, "deadline_seconds", budget)
 
     @classmethod
     def from_query(
@@ -104,6 +118,7 @@ class FindRequest:
         model: str = DEFAULT_MODEL,
         max_proposals: Optional[int] = None,
         trace_id: Optional[str] = None,
+        deadline_seconds: Optional[float] = None,
     ) -> "FindRequest":
         """Wrap a :class:`RegionQuery` (optionally adding model/trace fields).
 
@@ -119,7 +134,9 @@ class FindRequest:
             raise ValidationError(f"max_proposals must be >= 1, got {max_proposals}")
         if trace_id is not None and not isinstance(trace_id, str):
             raise ValidationError(f"trace_id must be a string, got {type(trace_id)!r}")
-        return cls._bare(query, model, max_proposals, trace_id)
+        if deadline_seconds is not None and not float(deadline_seconds) > 0.0:
+            raise ValidationError(f"deadline_seconds must be > 0, got {deadline_seconds}")
+        return cls._bare(query, model, max_proposals, trace_id, deadline_seconds)
 
     @classmethod
     def _bare(
@@ -128,6 +145,7 @@ class FindRequest:
         model: str,
         max_proposals: Optional[int] = None,
         trace_id: Optional[str] = None,
+        deadline_seconds: Optional[float] = None,
     ) -> "FindRequest":
         """Unvalidated construction from known-good parts (serving hot path).
 
@@ -143,6 +161,7 @@ class FindRequest:
         set_(self, "model", model)
         set_(self, "max_proposals", max_proposals)
         set_(self, "trace_id", trace_id)
+        set_(self, "deadline_seconds", deadline_seconds)
         return self
 
     def query(self) -> RegionQuery:
@@ -160,6 +179,7 @@ class FindRequest:
             "model": self.model,
             "max_proposals": self.max_proposals,
             "trace_id": self.trace_id,
+            "deadline_seconds": self.deadline_seconds,
         }
 
     @classmethod
@@ -222,18 +242,40 @@ class ProposalPayload:
         return cls(**payload)
 
 
+#: Every serving verdict a response may carry.  The first three are the
+#: historical happy-path statuses; the rest are produced by the load-control
+#: stages of :mod:`repro.api.admission` and the fault-tolerant executor:
+#: ``"throttled"`` (per-tenant token bucket exhausted), ``"shed"`` (admission
+#: control dropped the run under pressure), ``"timeout"`` (per-request
+#: deadline expired) and ``"error"`` (the optimiser run raised; the message is
+#: on ``error``).  None of the last four ever writes to the result cache.
+RESPONSE_STATUSES = (
+    "served",
+    "cached",
+    "rejected",
+    "throttled",
+    "shed",
+    "timeout",
+    "error",
+)
+
+
 @dataclass(frozen=True)
 class FindResponse:
     """One answered request.
 
     ``status`` is ``"served"`` (fresh GSO run, possibly shared with identical
-    queries of the same batch), ``"cached"`` (LRU hit) or ``"rejected"``
-    (Eq. 5 probability at or below the model's gate).  ``generation`` is the
-    model generation that answered — it advances on every hot swap, so a
-    caller can tell which model produced a cached result.  ``result`` carries
-    the full in-process :class:`RegionSearchResult` for local callers; it is
-    excluded from comparisons and from the dict/JSON forms (a response
-    reconstructed from a payload has ``result=None``).
+    queries of the same batch), ``"cached"`` (LRU hit), ``"rejected"``
+    (Eq. 5 probability at or below the model's gate) or one of the degraded
+    verdicts in :data:`RESPONSE_STATUSES` (``"throttled"`` / ``"shed"`` /
+    ``"timeout"`` / ``"error"`` — produced under load-control middleware or an
+    optimiser fault, never cached).  ``generation`` is the model generation
+    that answered — it advances on every hot swap, so a caller can tell which
+    model produced a cached result.  ``result`` carries the full in-process
+    :class:`RegionSearchResult` for local callers; it is excluded from
+    comparisons and from the dict/JSON forms (a response reconstructed from a
+    payload has ``result=None``).  ``error`` holds the short exception text
+    for ``"error"`` responses.
     """
 
     model: str
@@ -243,13 +285,16 @@ class FindResponse:
     elapsed_seconds: float = 0.0
     generation: int = 0
     trace_id: Optional[str] = None
+    error: Optional[str] = None
     result: Optional[RegionSearchResult] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
-        if self.status not in ("served", "cached", "rejected"):
+        if self.status not in RESPONSE_STATUSES:
             raise ValidationError(
-                f"status must be 'served', 'cached' or 'rejected', got {self.status!r}"
+                f"status must be one of {RESPONSE_STATUSES}, got {self.status!r}"
             )
+        if self.error is not None and not isinstance(self.error, str):
+            raise ValidationError(f"error must be a string, got {type(self.error)!r}")
         object.__setattr__(
             self, "proposals", tuple(self.proposals) if self.proposals else ()
         )
@@ -273,6 +318,7 @@ class FindResponse:
             "elapsed_seconds": self.elapsed_seconds,
             "generation": self.generation,
             "trace_id": self.trace_id,
+            "error": self.error,
         }
 
     @classmethod
@@ -299,6 +345,7 @@ class FindResponse:
 
 __all__ = [
     "DEFAULT_MODEL",
+    "RESPONSE_STATUSES",
     "FindRequest",
     "ProposalPayload",
     "FindResponse",

@@ -55,6 +55,20 @@ class ServiceStats:
     ground-truthed proposals (``exact_engine``) and externally observed pairs
     (``observe``/``observe_many``); ``refreshes`` counts how many times a
     refresh actually swapped in new models.
+
+    The degraded-path counters mirror the load-control statuses:
+    ``throttled`` (per-tenant token bucket), ``shed`` (admission control
+    dropped the run under pressure), ``timeouts`` (per-request deadline
+    expired before or during the run) and ``errors`` (the optimiser run
+    raised).  All four classes of request are counted in ``queries``;
+    throttled/shed requests are *not* counted as cache hits, while timeouts
+    and errors were classified as misses before their run failed.
+
+    Every mutation of these counters happens under the kernel lock — either
+    inline in the classification stage (which already holds it) or as one
+    batched fold at the end of the execute stage, where worker threads
+    accumulate locally instead of contending on (and racing) the shared
+    object.
     """
 
     queries: int = 0
@@ -65,6 +79,10 @@ class ServiceStats:
     gso_runs: int = 0
     harvested: int = 0
     refreshes: int = 0
+    throttled: int = 0
+    shed: int = 0
+    timeouts: int = 0
+    errors: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -87,6 +105,10 @@ class ServiceStats:
             "gso_runs": self.gso_runs,
             "harvested": self.harvested,
             "refreshes": self.refreshes,
+            "throttled": self.throttled,
+            "shed": self.shed,
+            "timeouts": self.timeouts,
+            "errors": self.errors,
             "hit_rate": self.hit_rate,
         }
 
@@ -103,6 +125,7 @@ KERNEL_OPTIONS = (
     "exact_engine",
     "middleware",
     "name",
+    "executor",
 )
 
 
@@ -150,6 +173,14 @@ class ServiceKernel:
         The middleware chain to run every batch through; defaults to
         :func:`repro.api.middleware.default_chain`.  Order matters: the first
         element is outermost.
+    executor:
+        Which execution stage the *default* chain uses: ``"thread"`` (the
+        historical in-process thread pool) or ``"process"`` (a persistent
+        :class:`~repro.api.execution.ProcessExecute` pool that pickles the
+        finder — compiled SoA tables included — once per worker per model
+        generation, escaping the GIL for CPU-bound GSO runs).  Only valid
+        when ``middleware`` is not given; a custom chain chooses its own
+        execute stage explicitly.
     """
 
     def __init__(
@@ -165,6 +196,7 @@ class ServiceKernel:
         incremental_trainer=None,
         exact_engine=None,
         middleware: Optional[Sequence[Middleware]] = None,
+        executor: str = "thread",
     ):
         if not isinstance(finder, SuRF):
             raise ValidationError(f"finder must be a SuRF instance, got {type(finder)!r}")
@@ -193,9 +225,25 @@ class ServiceKernel:
         self._query_log = query_log
         self._incremental_trainer = incremental_trainer
         self._exact_engine = exact_engine
-        self._middleware: List[Middleware] = (
-            list(middleware) if middleware is not None else default_chain()
-        )
+        if executor not in ("thread", "process"):
+            raise ValidationError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
+        if middleware is not None and executor != "thread":
+            raise ValidationError(
+                "executor only configures the default chain; a custom middleware "
+                "list must include its own execute stage (e.g. ProcessExecute)"
+            )
+        if executor == "process":
+            from repro.api.execution import ProcessExecute
+
+            chain = default_chain()
+            chain[-2] = ProcessExecute(max_workers=max_workers)
+            self._middleware: List[Middleware] = chain
+        else:
+            self._middleware = (
+                list(middleware) if middleware is not None else default_chain()
+            )
         self._handler = compose(self._middleware)
         # Keyed by (normalised query, effective max_proposals): requests for
         # the same threshold under different proposal caps never share results.
@@ -365,6 +413,7 @@ class ServiceKernel:
             elapsed_seconds=float(state.elapsed_seconds),
             generation=int(ctx.generation),
             trace_id=state.request.trace_id,
+            error=state.error,
             result=state.result,
         )
 
@@ -462,6 +511,25 @@ class ServiceKernel:
             max_half_fraction=refreshed.max_half_fraction,
         )
         return refreshed
+
+    # ------------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Release middleware-held resources (idempotent).
+
+        Today this shuts down the persistent worker pool of a
+        :class:`~repro.api.execution.ProcessExecute` stage; any middleware
+        exposing a ``close()`` method is invited to clean up.
+        """
+        for middleware in self._middleware:
+            closer = getattr(middleware, "close", None)
+            if callable(closer):
+                closer()
+
+    def __enter__(self) -> "ServiceKernel":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ misc
     normalize_query = staticmethod(normalize_query)

@@ -40,6 +40,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 import numpy as np
@@ -76,15 +77,33 @@ def normalize_query(query: RegionQuery) -> RegionQuery:
 _NAN = float("nan")
 
 
+#: Statuses decided *before* the satisfiability gate snapshots a model
+#: generation (today: rate limiting).  They survive a :class:`StaleGeneration`
+#: retry — the verdict did not depend on the superseded model — and the gate,
+#: cache and executor all skip states carrying one.
+PRE_GATE_STATUSES = frozenset({"throttled"})
+
+
 class RequestState:
     """Mutable per-request slot inside a :class:`BatchContext`.
 
     ``__slots__``-based: the cached-hit path touches several of these fields
     per request and the benchmark holds the whole chain to <= 10% overhead
-    over the PR 4 monolith.
+    over the PR 4 monolith.  ``deadline`` is an absolute expiry time on the
+    deadline stage's clock (``None`` = unbounded); ``error`` carries the short
+    exception text for ``"error"`` verdicts.
     """
 
-    __slots__ = ("request", "query", "status", "satisfiability", "result", "elapsed_seconds")
+    __slots__ = (
+        "request",
+        "query",
+        "status",
+        "satisfiability",
+        "result",
+        "elapsed_seconds",
+        "deadline",
+        "error",
+    )
 
     def __init__(self, request: FindRequest):
         self.request = request
@@ -93,6 +112,8 @@ class RequestState:
         self.satisfiability = _NAN
         self.result: Optional[RegionSearchResult] = None
         self.elapsed_seconds = 0.0
+        self.deadline: Optional[float] = None  # set by admission.Deadline
+        self.error: Optional[str] = None
 
     def cache_key(self, kernel) -> Tuple[RegionQuery, Optional[int]]:
         """Cache/coalescing identity: the normalised query plus the effective
@@ -149,11 +170,20 @@ class BatchContext:
         return len(self.states)
 
     def reset_classification(self) -> None:
-        """Forget per-generation work so the gate can retry on a new snapshot."""
+        """Forget per-generation work so the gate can retry on a new snapshot.
+
+        Pre-gate verdicts (:data:`PRE_GATE_STATUSES`, e.g. ``"throttled"``)
+        are kept: they were decided before any model snapshot was taken, so a
+        hot swap cannot invalidate them.  Deadlines are kept too — the budget
+        clock keeps running across a generation retry.
+        """
         for state in self.states:
+            if state.status in PRE_GATE_STATUSES:
+                continue
             state.status = ""
             state.satisfiability = _NAN
             state.result = None
+            state.error = None
         self.pending = {}
 
 
@@ -237,6 +267,8 @@ class SatisfiabilityGate:
         while True:
             ctx.finder, ctx.generation = kernel._snapshot()
             for state in ctx.states:
+                if state.status:  # pre-gate verdict (throttled): skip the probe
+                    continue
                 state.satisfiability = ctx.finder.satisfiability(state.query)
                 if state.satisfiability <= kernel.min_satisfiability:
                     state.status = "rejected"
@@ -271,6 +303,9 @@ class Cache:
                 stats.queries += 1
                 if state.status == "rejected":
                     stats.rejected += 1
+                    continue
+                if state.status:  # pre-gate verdict (throttled): count, skip lookup
+                    stats.throttled += 1
                     continue
                 cap = state.request.max_proposals
                 cached = cache_get((state.query, cap if cap is not None else default_cap))
@@ -327,50 +362,223 @@ class Execute:
     stream from the finder's configured seed.  A finder seeded with a live
     ``numpy`` ``Generator`` — shared, mutable, not thread-safe — is detected
     and executed on a single worker.
+
+    The stage is **fault-isolating and deadline-aware**:
+
+    * a run that raises marks only its own requesters ``"error"`` (the
+      exception text on ``state.error``), removes the query from
+      ``ctx.pending`` so nothing is cached or harvested for it, and leaves
+      every other request in the batch untouched;
+    * requests whose :class:`~repro.api.admission.Deadline` budget expired
+      before their run started are marked ``"timeout"`` without running at
+      all; a run that stalls past the *latest* deadline among its coalesced
+      requesters is abandoned (the worker thread keeps running but the batch
+      stops waiting) and its requesters marked ``"timeout"`` — again with no
+      cache write.  Without a deadline stage in the chain nothing changes.
+
+    ``gso_runs`` / ``timeouts`` / ``errors`` counters are accumulated locally
+    per batch and folded into :class:`~repro.api.kernel.ServiceStats` under
+    one lock acquisition at the end — worker threads never touch the shared
+    counters (see the concurrent-increment regression test in
+    ``tests/unit/test_api.py``).
+
+    :class:`~repro.api.execution.ProcessExecute` subclasses this stage to run
+    the swarm on a :class:`~concurrent.futures.ProcessPoolExecutor` instead.
     """
 
     name = "execute"
 
+    #: Subclasses that must always go through a pool (e.g. the process
+    #: executor) set this to False.
+    _inline_allowed = True
+
     def __call__(self, ctx: BatchContext, next: Next) -> BatchContext:
-        kernel = ctx.kernel
-        # Rejected/cached responses cost one classification-loop share each,
-        # not the whole batch's wall clock.
+        # Rejected/cached/throttled responses cost one classification-loop
+        # share each, not the whole batch's wall clock.
         ctx.classify_seconds = time.perf_counter() - ctx.batch_start
         per_query_seconds = ctx.classify_seconds / (len(ctx.states) or 1)
         for state in ctx.states:
-            if state.status != "served":  # rejected or cached
+            if state.status != "served":  # rejected, cached or throttled
                 state.elapsed_seconds = per_query_seconds
 
         if ctx.pending:
-            distinct = list(ctx.pending.items())
-            workers = ctx.max_workers if ctx.max_workers is not None else kernel.max_workers
-            if workers is None:
-                workers = min(len(distinct), os.cpu_count() or 1)
-            if kernel._uses_shared_generator(ctx.finder):
-                # A shared live Generator is mutated by every run and is not
-                # thread-safe; concurrent draws could corrupt its state.
-                workers = 1
-
-            finder = ctx.finder
-
-            def run_timed(item):
-                (query, max_proposals), _indices = item
-                run_start = time.perf_counter()
-                result = finder.find_regions(query, max_proposals=max_proposals)
-                with kernel._lock:
-                    kernel._stats.gso_runs += 1
-                return result, time.perf_counter() - run_start
-
-            if workers <= 1 or len(distinct) == 1:
-                outcomes = [run_timed(item) for item in distinct]
-            else:
-                with ThreadPoolExecutor(max_workers=workers) as pool:
-                    outcomes = list(pool.map(run_timed, distinct))
-            for (_key, indices), (result, seconds) in zip(distinct, outcomes):
-                for index in indices:
-                    ctx.states[index].result = result
-                    ctx.states[index].elapsed_seconds = seconds
+            self._run_pending(ctx)
         return next(ctx)
+
+    # ------------------------------------------------------------------ hooks
+    def _workers_for(self, ctx: BatchContext, num_distinct: int) -> int:
+        kernel = ctx.kernel
+        workers = ctx.max_workers if ctx.max_workers is not None else kernel.max_workers
+        if workers is None:
+            workers = min(num_distinct, os.cpu_count() or 1)
+        if kernel._uses_shared_generator(ctx.finder):
+            # A shared live Generator is mutated by every run and is not
+            # thread-safe; concurrent draws could corrupt its state.
+            workers = 1
+        return workers
+
+    def _launch(self, ctx: BatchContext, runnable):
+        """Submit every runnable ``(key, indices)`` item; return (futures, finish).
+
+        ``finish(stalled)`` is called once all outcomes are collected;
+        ``stalled`` is True when at least one run was abandoned past its
+        deadline, in which case the pool must not block on it.
+        """
+        workers = self._workers_for(ctx, len(runnable))
+        pool = ThreadPoolExecutor(max_workers=max(1, workers))
+        finder = ctx.finder
+
+        def run_one(query, max_proposals):
+            run_start = time.perf_counter()
+            result = finder.find_regions(query, max_proposals=max_proposals)
+            return result, time.perf_counter() - run_start
+
+        futures = [
+            pool.submit(run_one, key[0], key[1]) for key, _indices in runnable
+        ]
+
+        def finish(stalled: bool) -> None:
+            # An abandoned (timed-out) run keeps its worker thread busy;
+            # shutting down without waiting lets the batch return while the
+            # stray run finishes in the background and is discarded.
+            pool.shutdown(wait=not stalled)
+
+        return futures, finish
+
+    # ------------------------------------------------------------------ the run loop
+    def _run_pending(self, ctx: BatchContext) -> None:
+        kernel = ctx.kernel
+        clock = (
+            ctx._extras.get("deadline_clock", time.monotonic)
+            if ctx._extras is not None
+            else time.monotonic
+        )
+        distinct = list(ctx.pending.items())
+        runs = timeouts = errors = 0
+
+        def give_up(key, indices, status, message=None) -> None:
+            ctx.pending.pop(key, None)
+            batch_seconds = time.perf_counter() - ctx.batch_start
+            for index in indices:
+                state = ctx.states[index]
+                state.status = status
+                state.result = None
+                state.error = message
+                state.elapsed_seconds = batch_seconds
+
+        # Queue-wait expiry: a query every requester has already given up on
+        # is never run at all.
+        runnable = []
+        now = clock()
+        for key, indices in distinct:
+            states = [ctx.states[index] for index in indices]
+            if states and all(
+                state.deadline is not None and now >= state.deadline for state in states
+            ):
+                give_up(key, indices, "timeout")
+                timeouts += len(indices)
+            else:
+                runnable.append((key, indices))
+
+        if runnable:
+            has_deadline = any(
+                ctx.states[index].deadline is not None
+                for _key, indices in runnable
+                for index in indices
+            )
+            workers = self._workers_for(ctx, len(runnable))
+            if (
+                self._inline_allowed
+                and not has_deadline
+                and (workers <= 1 or len(runnable) == 1)
+            ):
+                runs, timeouts, errors = self._run_inline(
+                    ctx, runnable, clock, give_up, runs, timeouts, errors
+                )
+            else:
+                runs, timeouts, errors = self._run_pooled(
+                    ctx, runnable, clock, give_up, runs, timeouts, errors
+                )
+
+        if runs or timeouts or errors:
+            with kernel._lock:
+                stats = kernel._stats
+                stats.gso_runs += runs
+                stats.timeouts += timeouts
+                stats.errors += errors
+
+    def _run_inline(self, ctx, runnable, clock, give_up, runs, timeouts, errors):
+        """Sequential execution (single worker / single distinct query)."""
+        finder = ctx.finder
+        for key, indices in runnable:
+            query, max_proposals = key
+            run_start = time.perf_counter()
+            try:
+                result = finder.find_regions(query, max_proposals=max_proposals)
+            except Exception as exc:  # noqa: BLE001 - isolated per request
+                give_up(key, indices, "error", f"{type(exc).__name__}: {exc}")
+                errors += len(indices)
+                continue
+            runs += 1
+            seconds = time.perf_counter() - run_start
+            timeouts += self._deliver(ctx, key, indices, result, seconds, clock)
+        return runs, timeouts, errors
+
+    def _run_pooled(self, ctx, runnable, clock, give_up, runs, timeouts, errors):
+        futures, finish = self._launch(ctx, runnable)
+        stalled = False
+        for (key, indices), future in zip(runnable, futures):
+            states = [ctx.states[index] for index in indices]
+            deadlines = [state.deadline for state in states]
+            # The run is waited on until the *latest* requester gives up; a
+            # single unbounded requester keeps the wait unbounded.
+            wait_seconds = None
+            if deadlines and all(deadline is not None for deadline in deadlines):
+                wait_seconds = max(0.0, max(deadlines) - clock())
+            try:
+                result, seconds = future.result(timeout=wait_seconds)
+            except FuturesTimeoutError:
+                future.cancel()
+                stalled = True
+                give_up(key, indices, "timeout")
+                timeouts += len(indices)
+                continue
+            except Exception as exc:  # noqa: BLE001 - isolated per request
+                give_up(key, indices, "error", f"{type(exc).__name__}: {exc}")
+                errors += len(indices)
+                self._note_failure(exc)
+                continue
+            runs += 1
+            timeouts += self._deliver(ctx, key, indices, result, seconds, clock)
+        finish(stalled)
+        return runs, timeouts, errors
+
+    def _note_failure(self, exc: BaseException) -> None:
+        """Hook for subclasses to react to run failures (e.g. a broken pool)."""
+
+    def _deliver(self, ctx, key, indices, result, seconds, clock) -> int:
+        """Assign a completed run to its requesters, expiring late deadlines.
+
+        Returns the number of requesters marked ``"timeout"``.  If *every*
+        requester's deadline has passed the key is dropped from
+        ``ctx.pending`` so the late result is never cached or harvested.
+        """
+        now = clock()
+        delivered = timeouts = 0
+        for index in indices:
+            state = ctx.states[index]
+            if state.deadline is not None and now > state.deadline:
+                state.status = "timeout"
+                state.result = None
+                state.elapsed_seconds = seconds
+                timeouts += 1
+            else:
+                state.result = result
+                state.elapsed_seconds = seconds
+                delivered += 1
+        if delivered == 0:
+            ctx.pending.pop(key, None)
+        return timeouts
 
 
 class Harvest:
@@ -429,6 +637,7 @@ __all__ = [
     "RequestState",
     "Middleware",
     "StaleGeneration",
+    "PRE_GATE_STATUSES",
     "compose",
     "default_chain",
     "normalize_query",

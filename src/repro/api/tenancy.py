@@ -216,9 +216,42 @@ class ModelRegistry:
             outcomes[name] = kernel.refresh(force_full=force_full)
         return outcomes
 
+    @property
+    def pending_log_entries(self) -> int:
+        """Unconsumed log pairs summed across tenants (0 for log-less ones).
+
+        Gives the registry the same ``pending_log_entries``/``refresh``-style
+        surface a single kernel exposes, so a
+        :class:`~repro.online.RefreshPolicy` can watch a whole fleet.
+        """
+        total = 0
+        for name in self.names():
+            kernel = self.get(name)
+            if kernel.query_log is not None:
+                total += kernel.pending_log_entries
+        return total
+
     def stats(self) -> Dict[str, ServiceStats]:
         """Per-tenant counter snapshots (name → :class:`ServiceStats`)."""
         return {name: self.get(name).stats for name in self.names()}
+
+    # ------------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Release every tenant's execution resources (idempotent).
+
+        Forwards to each kernel's :meth:`ServiceKernel.close`, which shuts
+        down any middleware-owned pools (e.g. a
+        :class:`~repro.api.execution.ProcessExecute` worker pool).  Kernels
+        stay registered and usable — a later batch simply rebuilds its pool.
+        """
+        for name in self.names():
+            self.get(name).close()
+
+    def __enter__(self) -> "ModelRegistry":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ModelRegistry(models={list(self.names())})"

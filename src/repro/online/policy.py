@@ -34,7 +34,11 @@ class RefreshPolicy:
     Parameters
     ----------
     service:
-        A :class:`~repro.serve.SuRFService` configured with a query log.
+        Anything exposing ``pending_log_entries`` and ``refresh()`` — a
+        :class:`~repro.serve.SuRFService` or
+        :class:`~repro.api.kernel.ServiceKernel` configured with a query
+        log, or a whole :class:`~repro.api.tenancy.ModelRegistry` (refreshed
+        fleet-wide via ``refresh_all``).
     interval_seconds:
         How often the policy thread checks the log.
     min_new_pairs:
@@ -108,7 +112,12 @@ class RefreshPolicy:
         """One policy tick: refresh if enough pairs are pending.  Returns whether it did."""
         if self.service.pending_log_entries < self.min_new_pairs:
             return False
-        self.last_outcome = self.service.refresh()
+        # A ModelRegistry exposes the same pending_log_entries surface but
+        # refreshes fleet-wide; a single kernel/service refreshes itself.
+        if hasattr(self.service, "refresh_all"):
+            self.last_outcome = self.service.refresh_all()
+        else:
+            self.last_outcome = self.service.refresh()
         self.num_refreshes += 1
         return True
 

@@ -206,6 +206,101 @@ class TestOnlineServingConcurrency:
         assert service.generation == 4
         assert checked[0] > 0
 
+    def test_registry_refresh_all_racing_mixed_tenant_bursts(self):
+        """Fleet-wide hot swaps racing mixed-tenant batches stay coherent.
+
+        While ``ModelRegistry.refresh_all`` bumps every tenant's generation,
+        concurrent ``find_batch`` bursts mixing both tenants must only ever
+        return responses whose generation was live at some point during the
+        burst: for each response, ``generation`` falls between the tenant's
+        generation sampled before the burst started and the one sampled after
+        it returned — a response can never come from a generation that was
+        already retired before the burst, nor from one that did not exist yet
+        when it finished.
+        """
+        from repro.api import FindRequest, ModelRegistry
+        from repro.online import QueryLog
+
+        synthetic = make_synthetic_dataset(
+            statistic="density", dim=2, num_regions=1, num_points=3_000, random_state=33
+        )
+        engine = DataEngine(synthetic.dataset, synthetic.statistic)
+        workload = generate_workload(engine, 500, random_state=0)
+        finder_a = fast_surf(use_density_guidance=False).fit(workload)
+        finder_b = fast_surf(random_state=1, use_density_guidance=False).fit(workload)
+
+        registry = ModelRegistry()
+        # One cache-less tenant (every burst really runs GSO mid-swap) and one
+        # cached tenant (cached responses must respect generations too).
+        registry.register(
+            "alpha", finder_a, cache_size=0, query_log=QueryLog(capacity=50_000)
+        )
+        registry.register(
+            "beta", finder_b, cache_size=64, query_log=QueryLog(capacity=50_000)
+        )
+        threshold = synthetic.suggested_threshold()
+        stop = threading.Event()
+        errors = []
+        checked = [0]
+
+        def hammer(seed: int) -> None:
+            try:
+                step = 0
+                while not stop.is_set():
+                    step += 1
+                    requests = [
+                        FindRequest(
+                            threshold=threshold * (0.90 + 0.05 * (step % 3)),
+                            model="alpha",
+                        ),
+                        FindRequest(
+                            threshold=threshold * (0.95 + 0.02 * (seed % 3)),
+                            model="beta",
+                        ),
+                        FindRequest(threshold=threshold, model="alpha"),
+                    ]
+                    before = {
+                        name: registry.get(name).generation for name in ("alpha", "beta")
+                    }
+                    responses = registry.find_batch(requests)
+                    after = {
+                        name: registry.get(name).generation for name in ("alpha", "beta")
+                    }
+                    for request, response in zip(requests, responses):
+                        assert (
+                            before[request.model]
+                            <= response.generation
+                            <= after[request.model]
+                        ), (
+                            f"response generation {response.generation} was never "
+                            f"live during the burst "
+                            f"[{before[request.model]}, {after[request.model]}]"
+                        )
+                        checked[0] += 1
+            except BaseException as error:  # noqa: BLE001 - surfaced after join
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for round_index in range(3):
+                fresh = generate_workload(engine, 60, random_state=200 + round_index)
+                registry.get("alpha").observe_many(list(fresh))
+                registry.get("beta").observe_many(list(fresh))
+                outcomes = registry.refresh_all()
+                assert set(outcomes) == {"alpha", "beta"}
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=60.0)
+
+        assert not errors, errors
+        assert not any(thread.is_alive() for thread in threads)
+        assert registry.get("alpha").generation == 3
+        assert registry.get("beta").generation == 3
+        assert checked[0] > 0
+
 
 class TestRealDataPipelines:
     def test_crimes_like_q3_query_is_compliant(self):

@@ -198,7 +198,16 @@ class TestLegacyEquivalence:
         modern_service = SuRFService(fitted_surf)
         legacy_service.find_regions_batch(burst)
         modern_service.find_regions_batch(burst)
-        assert modern_service.stats.as_dict() == legacy_service.stats.as_dict()
+        # The modern stats surface is a strict superset: every PR 4 counter
+        # must match bit-for-bit, and the load-control counters (which the
+        # frozen monolith predates) must stay zero without load-control
+        # middleware in the chain.
+        legacy_stats = legacy_service.stats.as_dict()
+        modern_stats = modern_service.stats.as_dict()
+        assert {key: modern_stats[key] for key in legacy_stats} == legacy_stats
+        extra = set(modern_stats) - set(legacy_stats)
+        assert extra == {"throttled", "shed", "timeouts", "errors"}
+        assert all(modern_stats[key] == 0 for key in extra)
 
     def test_refresh_hot_swap_matches_the_pr4_service(
         self, fitted_surf, burst, density_engine

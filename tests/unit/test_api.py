@@ -658,7 +658,98 @@ class TestCompatShim:
             "gso_runs",
             "harvested",
             "refreshes",
+            "throttled",
+            "shed",
+            "timeouts",
+            "errors",
             "hit_rate",
         ]
         assert payload["hit_rate"] == pytest.approx(0.25)
         assert ServiceStats().as_dict()["hit_rate"] == 0.0
+
+
+# --------------------------------------------------------------------------- serving under load
+class TestLoadControlSurface:
+    """Envelope/kernel/registry surface added by the serving-under-load PR."""
+
+    def test_deadline_seconds_round_trips_and_validates(self, density_query):
+        request = FindRequest(threshold=10.0, deadline_seconds=2.5)
+        assert request.deadline_seconds == 2.5
+        assert FindRequest.from_dict(request.to_dict()) == request
+        assert FindRequest.from_json(request.to_json()).deadline_seconds == 2.5
+        via_query = FindRequest.from_query(density_query, deadline_seconds=1.0)
+        assert via_query.deadline_seconds == 1.0
+        for bad in (0.0, -1.0):
+            with pytest.raises(ValidationError):
+                FindRequest(threshold=10.0, deadline_seconds=bad)
+            with pytest.raises(ValidationError):
+                FindRequest.from_query(density_query, deadline_seconds=bad)
+
+    def test_degraded_statuses_are_valid_and_carry_an_error(self):
+        from repro.api import RESPONSE_STATUSES
+
+        assert set(RESPONSE_STATUSES) >= {"throttled", "shed", "timeout", "error"}
+        response = FindResponse(
+            model="m", status="error", satisfiability=0.5, error="RuntimeError: boom"
+        )
+        assert response.error == "RuntimeError: boom"
+        assert FindResponse.from_json(response.to_json()).error == "RuntimeError: boom"
+        with pytest.raises(ValidationError):
+            FindResponse(model="m", status="served", satisfiability=0.5, error=42)
+
+    def test_executor_option_is_validated(self, fitted_surf):
+        with pytest.raises(ValidationError, match="executor"):
+            ServiceKernel(fitted_surf, executor="rocket")
+        with pytest.raises(ValidationError):
+            ServiceKernel(fitted_surf, executor="process", middleware=default_chain())
+
+    def test_process_kernel_matches_thread_kernel(self, fitted_surf, density_query):
+        with ServiceKernel(fitted_surf, executor="process", max_workers=2) as kernel:
+            baseline = ServiceKernel(fitted_surf).handle(density_query)
+            response = kernel.handle(density_query)
+            assert response.status == "served"
+            assert proposals_identical(response.result.proposals, baseline.result.proposals)
+            # Second batch reuses the persistent pool.
+            again = kernel.handle(FindRequest.from_query(density_query))
+            assert again.status == "cached"
+
+    def test_stats_fold_is_atomic_under_concurrent_batches(self, fitted_surf):
+        from concurrent.futures import ThreadPoolExecutor
+
+        kernel = ServiceKernel(fitted_surf, cache_size=0, min_satisfiability=0.0)
+
+        def hammer(offset: int) -> None:
+            # cache_size=0 disables caching, so every request really runs and
+            # every counter increment races with the other threads' folds.
+            for step in range(4):
+                kernel.handle(FindRequest(threshold=1e-3 * (1 + offset) * (1 + step)))
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(hammer, range(8)))
+        stats = kernel.stats
+        assert stats.queries == 32
+        assert stats.gso_runs + stats.rejected == 32
+
+    def test_registry_close_and_pending_log_entries(self, fitted_surf):
+        from repro.online import QueryLog
+
+        registry = ModelRegistry()
+        registry.register("logged", fitted_surf, query_log=QueryLog(capacity=100))
+        registry.register("plain", fitted_surf)
+        assert registry.pending_log_entries == 0
+        response = registry.find(FindRequest(threshold=1e-3, model="logged"))
+        kernel = registry.get("logged")
+        for proposal in response.result.proposals:
+            kernel.observe(proposal.region, proposal.predicted_value)
+        assert registry.pending_log_entries == kernel.pending_log_entries
+        assert registry.pending_log_entries > 0
+        with registry:
+            pass  # close() is idempotent and safe on thread-pool kernels
+
+    def test_refresh_policy_accepts_a_registry(self, fitted_surf):
+        from repro.online import RefreshPolicy
+
+        registry = ModelRegistry()
+        registry.register("plain", fitted_surf)
+        policy = RefreshPolicy(registry, interval_seconds=60.0, min_new_pairs=1)
+        assert policy.run_once() is False  # no logs → nothing pending

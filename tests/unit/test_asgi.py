@@ -1,0 +1,297 @@
+"""Unit tests for the ASGI front door (repro.api.asgi).
+
+Everything runs in-process through :func:`asgi_request` — no sockets, no
+third-party server or client — except the dev-server test, which exercises
+the stdlib :class:`HttpFrontDoor` bridge over a real loopback connection.
+"""
+
+import asyncio
+import http.client
+import json
+
+import pytest
+
+from repro.api import (
+    AsgiApp,
+    FindRequest,
+    HttpFrontDoor,
+    ModelRegistry,
+    ServiceKernel,
+    asgi_request,
+)
+from repro.api.asgi import STATUS_HTTP
+from repro.exceptions import ValidationError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture(scope="module")
+def registry(fitted_surf):
+    registry = ModelRegistry()
+    registry.register("demo", fitted_surf, cache_size=64)
+    return registry
+
+
+@pytest.fixture(scope="module")
+def app(registry):
+    return AsgiApp(registry)
+
+
+class TestRouting:
+    def test_healthz(self, app):
+        response = run(asgi_request(app, "GET", "/healthz"))
+        assert response.status == 200
+        assert response.headers["content-type"] == "application/json"
+        assert response.json() == {"status": "ok", "models": ["demo"]}
+
+    def test_models_lists_generation_and_cache_occupancy(self, app, registry):
+        response = run(asgi_request(app, "GET", "/models"))
+        assert response.status == 200
+        (row,) = response.json()["models"]
+        kernel = registry.get("demo")
+        assert row["model"] == "demo"
+        assert row["generation"] == kernel.generation
+        assert row["cached_queries"] == kernel.cached_queries
+
+    def test_stats_returns_per_tenant_counters(self, app, registry):
+        response = run(asgi_request(app, "GET", "/stats"))
+        assert response.status == 200
+        payload = response.json()
+        assert payload["demo"] == registry.get("demo").stats.as_dict()
+
+    def test_unknown_path_is_404(self, app):
+        assert run(asgi_request(app, "GET", "/nope")).status == 404
+
+    def test_wrong_method_is_405(self, app):
+        assert run(asgi_request(app, "POST", "/healthz")).status == 405
+        assert run(asgi_request(app, "GET", "/find")).status == 405
+
+
+class TestFind:
+    def test_find_served_round_trip(self, app, registry, density_query):
+        body = {"threshold": density_query.threshold, "model": "demo"}
+        response = run(asgi_request(app, "POST", "/find", json_body=body))
+        assert response.status == 200
+        payload = response.json()
+        assert payload["status"] in ("served", "cached")
+        assert payload["model"] == "demo"
+        assert payload["proposals"]
+        # The wire payload is exactly the envelope's dict form.
+        direct = registry.find(
+            FindRequest(threshold=density_query.threshold, model="demo")
+        )
+        assert set(payload) == set(direct.to_dict())
+
+    def test_find_batch_preserves_order_and_statuses(self, app, density_query):
+        requests = [
+            {"threshold": density_query.threshold, "model": "demo", "trace_id": "a"},
+            {"threshold": density_query.threshold * 1.5, "model": "demo", "trace_id": "b"},
+        ]
+        response = run(
+            asgi_request(app, "POST", "/find_batch", json_body={"requests": requests})
+        )
+        assert response.status == 200
+        responses = response.json()["responses"]
+        assert [item["trace_id"] for item in responses] == ["a", "b"]
+
+    def test_single_tenant_apps_default_the_model_field(self, fitted_surf, density_query):
+        app = AsgiApp(ServiceKernel(fitted_surf, name="solo"))
+        response = run(
+            asgi_request(
+                app, "POST", "/find", json_body={"threshold": density_query.threshold}
+            )
+        )
+        assert response.status == 200
+        assert response.json()["model"] == "solo"
+
+    def test_unknown_model_is_404(self, app):
+        response = run(
+            asgi_request(
+                app, "POST", "/find", json_body={"threshold": 1.0, "model": "ghost"}
+            )
+        )
+        assert response.status == 404
+        assert "ghost" in response.json()["error"]
+
+    def test_degraded_statuses_map_to_http_errors(self):
+        assert STATUS_HTTP["throttled"] == 429
+        assert STATUS_HTTP["shed"] == 503
+        assert STATUS_HTTP["timeout"] == 504
+        assert STATUS_HTTP["error"] == 500
+
+    def test_throttled_request_comes_back_429(self, fitted_surf, density_query):
+        from repro.api import RateLimit, production_chain
+
+        kernel = ServiceKernel(
+            fitted_surf,
+            name="tight",
+            middleware=production_chain(rate_limit=RateLimit(rate=1e-9, capacity=1)),
+        )
+        app = AsgiApp(kernel)
+
+        async def burst():
+            first = await asgi_request(
+                app, "POST", "/find", json_body={"threshold": density_query.threshold}
+            )
+            second = await asgi_request(
+                app,
+                "POST",
+                "/find",
+                json_body={"threshold": density_query.threshold * 1.01},
+            )
+            return first, second
+
+        first, second = run(burst())
+        assert first.status == 200
+        assert second.status == 429
+        assert second.json()["status"] == "throttled"
+
+
+class TestBadInput:
+    def test_malformed_json_is_400(self, app):
+        response = run(asgi_request(app, "POST", "/find", body=b"{oops"))
+        assert response.status == 400
+        assert "JSON" in response.json()["error"]
+
+    def test_bad_field_types_are_400(self, app):
+        for payload in (
+            {"threshold": "many", "model": "demo"},
+            {"threshold": 1.0, "direction": "sideways", "model": "demo"},
+            {"threshold": 1.0, "bogus_key": 1, "model": "demo"},
+            ["not", "a", "mapping"],
+        ):
+            response = run(asgi_request(app, "POST", "/find", json_body=payload))
+            assert response.status == 400, payload
+
+    def test_batch_payload_shape_is_validated(self, app):
+        for payload in ({}, {"requests": "nope"}, [1, 2]):
+            response = run(asgi_request(app, "POST", "/find_batch", json_body=payload))
+            assert response.status == 400, payload
+
+    def test_oversized_body_is_413(self, registry):
+        app = AsgiApp(registry, max_body_bytes=64)
+        response = run(asgi_request(app, "POST", "/find", body=b"x" * 65))
+        assert response.status == 413
+        # Declared-length fast path: refused before any chunk is read.
+        response = run(
+            asgi_request(
+                app, "POST", "/find", body=b"x", headers=[(b"content-length", b"9999")]
+            )
+        )
+        assert response.status == 413
+
+    def test_chunked_bodies_are_reassembled(self, app, density_query):
+        payload = json.dumps(
+            {"threshold": density_query.threshold, "model": "demo"}
+        ).encode()
+
+        async def chunked():
+            sent = {"offset": 0}
+
+            async def receive():
+                offset = sent["offset"]
+                chunk, sent["offset"] = payload[offset : offset + 7], offset + 7
+                return {
+                    "type": "http.request",
+                    "body": chunk,
+                    "more_body": sent["offset"] < len(payload),
+                }
+
+            messages = []
+
+            async def send(message):
+                messages.append(message)
+
+            scope = {"type": "http", "method": "POST", "path": "/find", "headers": []}
+            await app(scope, receive, send)
+            return messages
+
+        messages = run(chunked())
+        assert messages[0]["status"] == 200
+
+    def test_app_requires_a_registry_or_kernel(self):
+        with pytest.raises(ValidationError):
+            AsgiApp("not-a-service")
+        with pytest.raises(ValidationError):
+            AsgiApp(ModelRegistry(), max_body_bytes=0)
+
+
+class TestLifespanAndConcurrency:
+    def test_lifespan_protocol_completes(self, registry):
+        app = AsgiApp(registry)
+
+        async def lifecycle():
+            incoming = [
+                {"type": "lifespan.startup"},
+                {"type": "lifespan.shutdown"},
+            ]
+            outgoing = []
+
+            async def receive():
+                return incoming.pop(0)
+
+            async def send(message):
+                outgoing.append(message)
+
+            await app({"type": "lifespan"}, receive, send)
+            return outgoing
+
+        events = run(lifecycle())
+        assert [event["type"] for event in events] == [
+            "lifespan.startup.complete",
+            "lifespan.shutdown.complete",
+        ]
+
+    def test_concurrent_requests_share_the_event_loop(self, app, density_query):
+        async def storm():
+            tasks = [
+                asgi_request(
+                    app,
+                    "POST",
+                    "/find",
+                    json_body={
+                        "threshold": density_query.threshold * (1 + 0.01 * i),
+                        "model": "demo",
+                    },
+                )
+                for i in range(16)
+            ]
+            return await asyncio.gather(*tasks)
+
+        responses = run(storm())
+        assert all(r.status == 200 for r in responses)
+        assert all(r.json()["status"] in ("served", "cached") for r in responses)
+
+
+class TestHttpFrontDoor:
+    def test_round_trip_over_a_real_socket(self, app, density_query):
+        with HttpFrontDoor(app) as door:
+            assert door.port > 0
+            connection = http.client.HTTPConnection("127.0.0.1", door.port, timeout=30)
+            try:
+                connection.request(
+                    "POST",
+                    "/find",
+                    body=json.dumps(
+                        {"threshold": density_query.threshold, "model": "demo"}
+                    ),
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                assert response.status == 200
+                assert json.loads(response.read())["status"] in ("served", "cached")
+            finally:
+                connection.close()
+            connection = http.client.HTTPConnection("127.0.0.1", door.port, timeout=30)
+            try:
+                connection.request("GET", "/healthz")
+                assert connection.getresponse().status == 200
+            finally:
+                connection.close()
+
+    def test_stop_is_idempotent(self, app):
+        door = HttpFrontDoor(app).start()
+        door.stop()
+        door.stop()
