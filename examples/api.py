@@ -147,7 +147,9 @@ def main() -> None:
     total_runs = sum(stats.gso_runs for stats in per_tenant.values())
     assert total_runs == 5, per_tenant  # 1 cold single + 2 + 2 from the burst
     rows = [
-        {"tenant": name, **{k: v for k, v in stats.as_dict().items() if k != "hit_rate"},
+        {"tenant": name,
+         **{k: v for k, v in stats.as_dict().items()
+            if k not in ("hit_rate", "since_refresh")},
          "hit_rate": f"{stats.hit_rate:.2f}"}
         for name, stats in per_tenant.items()
     ]

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""End-to-end observability: request tracing, /metrics and GSO profiling.
+
+This example stands up one observed tenant and walks the full PR 9 story:
+
+1. **One shared bundle** — an :class:`~repro.obs.Observability` (metrics
+   registry + trace ring + JSONL export + per-stage timing breakdown) is
+   attached to the tenant at registration; everything below is recorded by
+   it without touching any core code.
+2. **Traces** — a cold query runs the optimiser and its ``GET /trace/{id}``
+   span tree shows a ``gso-run`` span with iteration/surrogate-eval counts
+   and the swarm's radius trajectory; repeating the query answers from the
+   cache and its trace has no optimiser span at all.
+3. **Metrics** — ``GET /metrics`` serves Prometheus text: request counters
+   by verdict, per-stage latency histograms, optimiser-run counters and the
+   backend's rows-scanned accounting, all parsed and asserted here.
+4. **Opt-in timing** — with ``timing_breakdown=True`` every response
+   envelope carries its per-stage latency dict.
+
+Every step asserts its outcome, so this file doubles as the CI smoke test
+for the observability path.  Run with ``python examples/observability.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import tempfile
+
+from repro.api import AsgiApp, ModelRegistry, asgi_request
+from repro.core.finder import SuRF
+from repro.data import DataEngine, make_synthetic_dataset
+from repro.ml.boosting import GradientBoostingRegressor
+from repro.obs import Observability, parse_prometheus_text
+from repro.online import QueryLog
+from repro.optim.gso import GSOParameters
+from repro.surrogate.training import SurrogateTrainer
+from repro.surrogate.workload import generate_workload
+
+TENANT = "crimes/count"
+
+
+def fit_tenant(engine) -> SuRF:
+    finder = SuRF(
+        trainer=SurrogateTrainer(
+            estimator=GradientBoostingRegressor(n_estimators=40, max_depth=4, random_state=0),
+            random_state=0,
+        ),
+        gso_parameters=GSOParameters(num_particles=30, num_iterations=20, random_state=0),
+        random_state=0,
+        use_density_guidance=False,
+    )
+    return finder.fit(generate_workload(engine, 600, random_state=0))
+
+
+def span_names(node, depth=0):
+    yield depth, node["name"], node
+    for child in node.get("children", ()):
+        yield from span_names(child, depth + 1)
+
+
+def main() -> None:
+    synthetic = make_synthetic_dataset(
+        statistic="density", dim=2, num_regions=2, num_points=4_000, random_state=11
+    )
+    engine = DataEngine(synthetic.dataset, synthetic.statistic)
+    print("fitting the tenant ...")
+    finder = fit_tenant(engine)
+    threshold = float(finder.satisfiability_.quantile(0.75))
+
+    with tempfile.TemporaryDirectory() as scratch:
+        jsonl_path = os.path.join(scratch, "traces.jsonl")
+        obs = Observability(timing_breakdown=True, trace_jsonl=jsonl_path)
+        registry = ModelRegistry()
+        registry.register(
+            TENANT,
+            finder,
+            query_log=QueryLog(capacity=10_000),
+            exact_engine=engine,
+            observability=obs,
+        )
+        app = AsgiApp(registry)
+
+        # -------------------------------------------------------------- traffic
+        async def drive():
+            async def find(trace_id, bump=0.0):
+                reply = await asgi_request(
+                    app,
+                    "POST",
+                    "/find",
+                    json_body={
+                        "threshold": threshold * (1 + bump),
+                        "model": TENANT,
+                        "trace_id": trace_id,
+                    },
+                )
+                assert reply.status == 200, reply.status
+                return reply.json()
+
+            cold = await find("obs-cold")
+            warm = await find("obs-warm")  # same threshold: cache answers
+            other = await find("obs-other", bump=0.02)
+            metrics = await asgi_request(app, "GET", "/metrics")
+            cold_trace = await asgi_request(app, "GET", "/trace/obs-cold")
+            warm_trace = await asgi_request(app, "GET", "/trace/obs-warm")
+            missing = await asgi_request(app, "GET", "/trace/nope")
+            return cold, warm, other, metrics, cold_trace, warm_trace, missing
+
+        cold, warm, other, metrics, cold_trace, warm_trace, missing = asyncio.run(drive())
+        assert cold["status"] == "served" and other["status"] == "served"
+        assert warm["status"] == "cached"
+
+        # -------------------------------------------------------------- timing
+        for response in (cold, warm, other):
+            timing = response["timing"]
+            assert timing is not None and timing["total"] >= timing["harvest"] >= 0.0
+        print(
+            "timing breakdown (cold find): "
+            + ", ".join(f"{k}={v * 1e3:.2f}ms" for k, v in sorted(cold["timing"].items()))
+        )
+
+        # -------------------------------------------------------------- traces
+        assert cold_trace.status == 200 and warm_trace.status == 200
+        assert missing.status == 404
+        cold_tree = cold_trace.json()
+        names = [name for _, name, _ in span_names(cold_tree["spans"])]
+        for stage in ("normalize", "satisfiability-gate", "cache", "coalesce", "execute", "harvest"):
+            assert stage in names, names
+        runs = [n for _, name, n in span_names(cold_tree["spans"]) if name == "gso-run"]
+        assert len(runs) == 1
+        profile = runs[0]["attributes"]
+        assert profile["surrogate_evals"] > 0
+        assert len(profile["radius_trajectory"]) == profile["iterations"]
+        assert "gso-run" not in json.dumps(warm_trace.json())  # cache path: no optimiser
+        print(
+            f"trace obs-cold: {len(names)} spans, gso-run ran "
+            f"{profile['iterations']} iterations / {profile['surrogate_evals']} surrogate evals; "
+            "trace obs-warm: answered without an optimiser span"
+        )
+
+        # -------------------------------------------------------------- metrics
+        assert metrics.status == 200
+        content_type = dict(metrics.headers).get("content-type", "")
+        assert content_type.startswith("text/plain; version=0.0.4"), content_type
+        parsed = parse_prometheus_text(metrics.body.decode())
+
+        label = f'{{model="{TENANT}",verdict="%s"}}'
+        assert parsed["repro_requests_total"][label % "served"] == 2.0
+        assert parsed["repro_requests_total"][label % "cached"] == 1.0
+        totals = f'{{model="{TENANT}",stage="total"}}'
+        assert parsed["repro_request_latency_seconds_count"][totals] == 3.0
+        assert parsed["repro_gso_runs_total"][f'{{model="{TENANT}"}}'] == 2.0
+        evals = parsed["repro_gso_surrogate_evals_total"][f'{{model="{TENANT}"}}']
+        assert evals > 0
+        rows_scanned = sum(parsed["repro_backend_rows_scanned_total"].values())
+        assert rows_scanned > 0  # harvest verified proposals against the backend
+        print(
+            f"/metrics: {sum(len(v) for v in parsed.values())} series across "
+            f"{len(parsed)} names — {int(evals)} surrogate evals, "
+            f"{int(rows_scanned)} backend rows scanned"
+        )
+
+        # -------------------------------------------------------------- export
+        registry.close()
+        obs.tracer.close()
+        with open(jsonl_path, "r", encoding="utf-8") as handle:
+            exported = [json.loads(line) for line in handle]
+        assert {record["trace_id"] for record in exported} >= {"obs-cold", "obs-warm", "obs-other"}
+        print(f"JSONL export: {len(exported)} trace records written to disk")
+
+    print("observability example OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -253,10 +253,14 @@ class AdmissionControl:
         if not ctx.pending:
             return next(ctx)
         capacity = self.max_inflight + self.max_queue
+        obs = ctx._extras.get("obs") if ctx._extras is not None else None
         with self._lock:
             available = max(0, capacity - self._inflight)
             admitted = min(len(ctx.pending), available)
             self._inflight += admitted
+            inflight_now = self._inflight
+        if obs is not None:
+            obs.admission_inflight.labels(ctx.kernel.name).set(inflight_now)
         try:
             overflow = len(ctx.pending) - admitted
             if overflow > 0:
@@ -265,6 +269,9 @@ class AdmissionControl:
         finally:
             with self._lock:
                 self._inflight -= admitted
+                inflight_now = self._inflight
+            if obs is not None:
+                obs.admission_inflight.labels(ctx.kernel.name).set(inflight_now)
 
     def _shed(self, ctx: BatchContext, overflow: int) -> None:
         # Keep the highest-probability distinct runs; shed the rest.  Ties
@@ -278,6 +285,9 @@ class AdmissionControl:
         )
         shed_count = 0
         batch_seconds = time.perf_counter() - ctx.batch_start
+        extras = ctx._extras
+        obs = extras.get("obs") if extras is not None else None
+        recorder = extras.get("obs_trace") if extras is not None else None
         for _position, (key, indices) in ranked[:overflow]:
             del ctx.pending[key]
             for index in indices:
@@ -286,6 +296,14 @@ class AdmissionControl:
                 state.result = None
                 state.elapsed_seconds = batch_seconds
                 shed_count += 1
+                if obs is not None:
+                    obs.shed_total.labels(state.request.model, "overload").inc()
+                if recorder is not None:
+                    recorder.event(
+                        index, "shed",
+                        reason="overload",
+                        satisfiability=float(state.satisfiability),
+                    )
         if shed_count:
             kernel = ctx.kernel
             with kernel._lock:
@@ -299,14 +317,23 @@ def production_chain(
     deadline: Optional[Deadline] = None,
     admission: Optional[AdmissionControl] = None,
     execute: Optional[Execute] = None,
+    observability=None,
 ) -> List[Middleware]:
     """The serving chain with the load-control stages in canonical positions.
 
     Any stage left ``None`` is simply omitted (with all three ``None`` and no
     custom executor this degenerates to :func:`~repro.api.middleware.default_chain`).
-    Pass ``execute=ProcessExecute(...)`` to run GSO on the process pool.
+    Pass ``execute=ProcessExecute(...)`` to run GSO on the process pool, and
+    ``observability=True`` (or a configured :class:`repro.obs.Observability`)
+    to prepend the tracing stage — the outermost position, so every other
+    stage's latency lands in its span tree.
     """
-    chain: List[Middleware] = [Normalize()]
+    chain: List[Middleware] = []
+    if observability is not None and observability is not False:
+        from repro.obs.runtime import Trace
+
+        chain.append(Trace(observability))
+    chain.append(Normalize())
     if rate_limit is not None:
         chain.append(rate_limit)
     chain.append(SatisfiabilityGate())

@@ -18,9 +18,15 @@ method   path            behaviour
 GET      ``/healthz``    liveness: ``{"status": "ok", "models": [...]}``
 GET      ``/models``     tenant names with generation + cache occupancy
 GET      ``/stats``      per-tenant :class:`ServiceStats` counter dicts
+GET      ``/metrics``    Prometheus text exposition over every tenant
+GET      ``/trace/{id}`` one recorded trace (span tree) by envelope trace id
 POST     ``/find``       one ``FindRequest`` JSON in, one ``FindResponse`` out
 POST     ``/find_batch`` ``{"requests": [...]}`` in, ``{"responses": [...]}``
 =======  ==============  =====================================================
+
+``/metrics`` always answers (kernels without observability contribute their
+``ServiceStats`` as gauges); ``/trace/{id}`` needs at least one kernel with
+observability enabled and returns ``404`` for unknown or already-evicted ids.
 
 ``/find`` maps the serving verdict onto the HTTP status: ``served`` /
 ``cached`` / ``rejected`` are all ``200`` (a rejection is a valid answer),
@@ -109,13 +115,18 @@ class AsgiApp:
             status, payload = exc.status, {"error": exc.message}
         except Exception as exc:  # noqa: BLE001 - the front door never crashes
             status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, _PlainText):
+            body = payload.text.encode("utf-8")
+            content_type = payload.content_type.encode("ascii")
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = b"application/json"
         await send(
             {
                 "type": "http.response.start",
                 "status": status,
                 "headers": [
-                    (b"content-type", b"application/json"),
+                    (b"content-type", content_type),
                     (b"content-length", str(len(body)).encode("ascii")),
                 ],
             }
@@ -146,6 +157,19 @@ class AsgiApp:
             return 200, {
                 name: stats.as_dict() for name, stats in self.registry.stats().items()
             }
+        if path == "/metrics":
+            if method not in ("GET", "HEAD"):
+                raise _HttpError(405, "/metrics only supports GET")
+            text = await asyncio.to_thread(self.registry.render_metrics)
+            return 200, _PlainText(text, _PROMETHEUS_CONTENT_TYPE)
+        if path.startswith("/trace/"):
+            if method not in ("GET", "HEAD"):
+                raise _HttpError(405, "/trace/{id} only supports GET")
+            trace_id = path[len("/trace/"):]
+            record = self.registry.find_trace(trace_id)
+            if record is None:
+                raise _HttpError(404, f"no recorded trace {trace_id!r}")
+            return 200, record
         if path in ("/find", "/find_batch"):
             if method != "POST":
                 raise _HttpError(405, f"{path} only supports POST")
@@ -226,6 +250,17 @@ class AsgiApp:
             return json.loads(b"".join(chunks) or b"null")
         except json.JSONDecodeError as exc:
             raise ValidationError(f"invalid JSON body: {exc}") from exc
+
+
+#: The Prometheus text exposition content type (format version 0.0.4).
+_PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _PlainText(NamedTuple):
+    """Marker payload: serve as-is instead of JSON-encoding (``/metrics``)."""
+
+    text: str
+    content_type: str
 
 
 class _HttpError(Exception):

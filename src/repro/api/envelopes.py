@@ -275,7 +275,10 @@ class FindResponse:
     :class:`RegionSearchResult` for local callers; it is excluded from
     comparisons and from the dict/JSON forms (a response reconstructed from a
     payload has ``result=None``).  ``error`` holds the short exception text
-    for ``"error"`` responses.
+    for ``"error"`` responses.  ``timing`` is the opt-in per-stage latency
+    breakdown (stage name → seconds, inclusive of nested stages) attached
+    when the kernel runs with ``Observability(timing_breakdown=True)``;
+    ``None`` otherwise.
     """
 
     model: str
@@ -286,6 +289,7 @@ class FindResponse:
     generation: int = 0
     trace_id: Optional[str] = None
     error: Optional[str] = None
+    timing: Optional[Dict[str, float]] = field(default=None, compare=False, repr=False)
     result: Optional[RegionSearchResult] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -319,6 +323,7 @@ class FindResponse:
             "generation": self.generation,
             "trace_id": self.trace_id,
             "error": self.error,
+            "timing": dict(self.timing) if self.timing is not None else None,
         }
 
     @classmethod

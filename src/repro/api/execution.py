@@ -47,7 +47,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Optional
 
-from repro.api.middleware import BatchContext, Execute
+from repro.api.middleware import BatchContext, Execute, _obs_of
 from repro.exceptions import ValidationError
 
 # Worker-process global: the finder installed by the pool initializer.  Each
@@ -60,10 +60,26 @@ def _install_worker_finder(payload: bytes) -> None:
     _WORKER_FINDER = pickle.loads(payload)
 
 
-def _run_worker_query(query, max_proposals):
+def _run_worker_query(query, max_proposals, obs_spec=None):
+    """One run in a worker process.
+
+    ``obs_spec`` is ``(model_name, gso_profile)`` when the parent kernel has
+    observability on: the run is counted into a worker-local metrics registry
+    whose snapshot rides back with the result (a 3-tuple) and is merged into
+    the parent's registry — counters add, so no increment is lost crossing
+    the process boundary.
+    """
     start = time.perf_counter()
-    result = _WORKER_FINDER.find_regions(query, max_proposals=max_proposals)
-    return result, time.perf_counter() - start
+    if obs_spec is None:
+        result = _WORKER_FINDER.find_regions(query, max_proposals=max_proposals)
+        return result, time.perf_counter() - start
+    from repro.obs.runtime import worker_run_delta
+
+    model, profile_on = obs_spec
+    result, extra = worker_run_delta(
+        _WORKER_FINDER, query, max_proposals, model, profile_on
+    )
+    return result, time.perf_counter() - start, extra
 
 
 class ProcessExecute(Execute):
@@ -133,9 +149,17 @@ class ProcessExecute(Execute):
                     initargs=(payload,),
                 )
                 self._pool_key = key
+            obs, _recorder = _obs_of(ctx)
             futures = [
-                self._pool.submit(_run_worker_query, key_[0], key_[1])
-                for key_, _indices in runnable
+                self._pool.submit(
+                    _run_worker_query,
+                    key_[0],
+                    key_[1],
+                    (ctx.states[indices[0]].request.model, obs.gso_profile)
+                    if obs is not None
+                    else None,
+                )
+                for key_, indices in runnable
             ]
 
         def finish(stalled: bool) -> None:

@@ -69,6 +69,12 @@ class ServiceStats:
     batched fold at the end of the execute stage, where worker threads
     accumulate locally instead of contending on (and racing) the shared
     object.
+
+    ``baseline`` is the counter snapshot taken at the last generation
+    hot-swap; :meth:`since_refresh` reports the deltas against it, so a
+    dashboard watching ``hit_rate`` right after a swap sees the *new*
+    generation's behaviour instead of a lifetime average dominated by the old
+    one.
     """
 
     queries: int = 0
@@ -83,11 +89,29 @@ class ServiceStats:
     shed: int = 0
     timeouts: int = 0
     errors: int = 0
+    baseline: Optional["ServiceStats"] = None
 
     @property
     def hit_rate(self) -> float:
         """Fraction of queries answered from the cache (0.0 before any query)."""
         return self.cache_hits / self.queries if self.queries else 0.0
+
+    def since_refresh(self) -> Dict[str, float]:
+        """Counter deltas since the last refresh that swapped the model.
+
+        Before the first swap (or after ``reset``) the deltas equal the
+        lifetime counters.  ``hit_rate`` here is computed from the deltas.
+        """
+        base = self.baseline
+        deltas: Dict[str, float] = {}
+        for field_name in _STAT_COUNTER_FIELDS:
+            deltas[field_name] = getattr(self, field_name) - (
+                getattr(base, field_name) if base is not None else 0
+            )
+        deltas["hit_rate"] = (
+            deltas["cache_hits"] / deltas["queries"] if deltas["queries"] else 0.0
+        )
+        return deltas
 
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict view for logs, metrics middlewares and benchmark tables.
@@ -95,6 +119,8 @@ class ServiceStats:
         The key set is **stable** — the metrics middleware in
         ``examples/api.py`` and deployment dashboards key on it; new counters
         are appended, existing keys (including ``hit_rate``) never disappear.
+        ``since_refresh`` is the one non-scalar entry: the post-hot-swap
+        counter deltas from :meth:`since_refresh`.
         """
         return {
             "queries": self.queries,
@@ -110,7 +136,25 @@ class ServiceStats:
             "timeouts": self.timeouts,
             "errors": self.errors,
             "hit_rate": self.hit_rate,
+            "since_refresh": self.since_refresh(),
         }
+
+
+#: The integer counter fields of :class:`ServiceStats`, in ``as_dict`` order.
+_STAT_COUNTER_FIELDS = (
+    "queries",
+    "cache_hits",
+    "cache_misses",
+    "coalesced",
+    "rejected",
+    "gso_runs",
+    "harvested",
+    "refreshes",
+    "throttled",
+    "shed",
+    "timeouts",
+    "errors",
+)
 
 
 #: The constructor options a kernel accepts besides the finder itself; shared
@@ -126,6 +170,7 @@ KERNEL_OPTIONS = (
     "middleware",
     "name",
     "executor",
+    "observability",
 )
 
 
@@ -181,6 +226,13 @@ class ServiceKernel:
         generation, escaping the GIL for CPU-bound GSO runs).  Only valid
         when ``middleware`` is not given; a custom chain chooses its own
         execute stage explicitly.
+    observability:
+        ``True`` or a :class:`repro.obs.Observability` bundle enables the
+        metrics/tracing layer: a ``Trace`` stage is prepended (unless the
+        chain already carries one), every stage is timed into per-stage
+        latency histograms, and the kernel's counters/cache/drift/backend
+        state are registered as pull-time gauges.  ``None`` (the default)
+        keeps the serving path completely uninstrumented.
     """
 
     def __init__(
@@ -197,6 +249,7 @@ class ServiceKernel:
         exact_engine=None,
         middleware: Optional[Sequence[Middleware]] = None,
         executor: str = "thread",
+        observability=None,
     ):
         if not isinstance(finder, SuRF):
             raise ValidationError(f"finder must be a SuRF instance, got {type(finder)!r}")
@@ -244,7 +297,17 @@ class ServiceKernel:
             self._middleware = (
                 list(middleware) if middleware is not None else default_chain()
             )
-        self._handler = compose(self._middleware)
+        self._obs = self._wire_observability(observability)
+        if self._obs is not None:
+            from repro.obs.runtime import instrument_chain, register_kernel
+
+            # ``self._middleware`` keeps the bare stages (close()/repr/the
+            # ``middleware`` property are unchanged); only the composed
+            # handler runs the instrumented copies.
+            self._handler = compose(instrument_chain(self._middleware, self._obs))
+            register_kernel(self._obs, self)
+        else:
+            self._handler = compose(self._middleware)
         # Keyed by (normalised query, effective max_proposals): requests for
         # the same threshold under different proposal caps never share results.
         self._cache: "OrderedDict[tuple, RegionSearchResult]" = OrderedDict()
@@ -253,6 +316,36 @@ class ServiceKernel:
         self._stats = ServiceStats()
         self._generation = 0
         self._log_cursor = 0
+
+    def _wire_observability(self, observability):
+        """Resolve the ``observability`` option against the middleware chain.
+
+        An explicit ``Trace`` stage in a custom chain wins (its bundle is
+        adopted); otherwise a truthy option prepends one.  Returns the active
+        :class:`~repro.obs.runtime.Observability`, or ``None`` when the
+        kernel serves uninstrumented.
+        """
+        trace_stage = next(
+            (
+                stage
+                for stage in self._middleware
+                if getattr(stage, "obs_trace_stage", False)
+            ),
+            None,
+        )
+        if observability is None or observability is False:
+            return trace_stage.observability if trace_stage is not None else None
+        from repro.obs.runtime import Observability, Trace
+
+        obs = Observability.coerce(observability)
+        if trace_stage is None:
+            self._middleware.insert(0, Trace(obs))
+        elif trace_stage.observability is not obs:
+            raise ValidationError(
+                "the middleware chain already carries a Trace stage with a "
+                "different Observability; configure one or the other"
+            )
+        return obs
 
     # ------------------------------------------------------------------ construction
     @classmethod
@@ -280,6 +373,11 @@ class ServiceKernel:
     def middleware(self) -> Tuple[Middleware, ...]:
         """The chain this kernel runs (immutable view; first = outermost)."""
         return tuple(self._middleware)
+
+    @property
+    def observability(self):
+        """The active :class:`repro.obs.Observability`, or ``None``."""
+        return self._obs
 
     @property
     def generation(self) -> int:
@@ -321,6 +419,8 @@ class ServiceKernel:
         answers after the refresh already invalidated them.
         """
         if self.cache_size == 0 or generation != self._generation:
+            if generation != self._generation and self._obs is not None:
+                self._obs.cache_evictions.labels(self.name).inc()
             return
         self._cache[key] = result
         self._cache.move_to_end(key)
@@ -412,7 +512,8 @@ class ServiceKernel:
             proposals=proposals,
             elapsed_seconds=float(state.elapsed_seconds),
             generation=int(ctx.generation),
-            trace_id=state.request.trace_id,
+            trace_id=state.trace_id,
+            timing=state.timing,
             error=state.error,
             result=state.result,
         )
@@ -484,8 +585,14 @@ class ServiceKernel:
                 self._finder = refreshed
                 self._generation += 1
                 self._log_cursor = new_cursor
+                evicted = len(self._cache)
                 self._cache.clear()
                 self._stats.refreshes += 1
+                # Snapshot the counters so ``since_refresh`` reports the new
+                # generation's behaviour from here on.
+                self._stats.baseline = replace(self._stats, baseline=None)
+            if evicted and self._obs is not None:
+                self._obs.cache_evictions.labels(self.name).inc(evicted)
             return outcome
 
     def _swapped_finder(self, trainer) -> SuRF:

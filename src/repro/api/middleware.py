@@ -103,6 +103,8 @@ class RequestState:
         "elapsed_seconds",
         "deadline",
         "error",
+        "trace_id",
+        "timing",
     )
 
     def __init__(self, request: FindRequest):
@@ -114,6 +116,11 @@ class RequestState:
         self.elapsed_seconds = 0.0
         self.deadline: Optional[float] = None  # set by admission.Deadline
         self.error: Optional[str] = None
+        # The id echoed on the response: the request's own, or one minted by
+        # the Trace stage when observability is on (never the leader's — a
+        # coalesced follower keeps its identity).
+        self.trace_id: Optional[str] = request.trace_id
+        self.timing: Optional[Dict[str, float]] = None  # opt-in obs breakdown
 
     def cache_key(self, kernel) -> Tuple[RegionQuery, Optional[int]]:
         """Cache/coalescing identity: the normalised query plus the effective
@@ -220,6 +227,19 @@ def compose(chain: Sequence[Middleware]) -> Next:
     return handler
 
 
+def _obs_of(ctx: BatchContext):
+    """The batch's (Observability, BatchRecorder) pair, or ``(None, None)``.
+
+    Installed by the :class:`repro.obs.runtime.Trace` stage; duck-typed so
+    this module never imports :mod:`repro.obs`.  One dict read on the
+    uninstrumented path (and none when no middleware touched ``extras``).
+    """
+    extras = ctx._extras
+    if extras is None:
+        return None, None
+    return extras.get("obs"), extras.get("obs_trace")
+
+
 # --------------------------------------------------------------------------- stages
 class Normalize:
     """Canonicalise every request's query (the cache-key form).
@@ -275,6 +295,9 @@ class SatisfiabilityGate:
             try:
                 return next(ctx)
             except StaleGeneration:
+                _obs, recorder = _obs_of(ctx)
+                if recorder is not None:
+                    recorder.generation_retry(ctx, ctx.generation)
                 ctx.reset_classification()
 
 
@@ -350,6 +373,9 @@ class Coalesce:
         if duplicates:
             with kernel._lock:
                 kernel._stats.coalesced += duplicates
+            _obs, recorder = _obs_of(ctx)
+            if recorder is not None:
+                recorder.note_coalesced(ctx)
         return next(ctx)
 
 
@@ -427,11 +453,21 @@ class Execute:
         workers = self._workers_for(ctx, len(runnable))
         pool = ThreadPoolExecutor(max_workers=max(1, workers))
         finder = ctx.finder
+        obs, _recorder = _obs_of(ctx)
 
         def run_one(query, max_proposals):
             run_start = time.perf_counter()
-            result = finder.find_regions(query, max_proposals=max_proposals)
-            return result, time.perf_counter() - run_start
+            hook = obs.run_profiler(finder) if obs is not None else None
+            if hook is not None:
+                result = finder.find_regions(
+                    query, max_proposals=max_proposals, profile_hook=hook
+                )
+            else:
+                result = finder.find_regions(query, max_proposals=max_proposals)
+            seconds = time.perf_counter() - run_start
+            if hook is not None:
+                return result, seconds, hook.summary()
+            return result, seconds
 
         futures = [
             pool.submit(run_one, key[0], key[1]) for key, _indices in runnable
@@ -510,23 +546,36 @@ class Execute:
     def _run_inline(self, ctx, runnable, clock, give_up, runs, timeouts, errors):
         """Sequential execution (single worker / single distinct query)."""
         finder = ctx.finder
+        obs, recorder = _obs_of(ctx)
         for key, indices in runnable:
             query, max_proposals = key
+            hook = obs.run_profiler(finder) if obs is not None else None
             run_start = time.perf_counter()
             try:
-                result = finder.find_regions(query, max_proposals=max_proposals)
+                if hook is not None:
+                    result = finder.find_regions(
+                        query, max_proposals=max_proposals, profile_hook=hook
+                    )
+                else:
+                    result = finder.find_regions(query, max_proposals=max_proposals)
             except Exception as exc:  # noqa: BLE001 - isolated per request
                 give_up(key, indices, "error", f"{type(exc).__name__}: {exc}")
                 errors += len(indices)
                 continue
             runs += 1
             seconds = time.perf_counter() - run_start
+            if obs is not None:
+                self._record_run(
+                    ctx, obs, recorder, indices, result, seconds,
+                    hook.summary() if hook is not None else None,
+                )
             timeouts += self._deliver(ctx, key, indices, result, seconds, clock)
         return runs, timeouts, errors
 
     def _run_pooled(self, ctx, runnable, clock, give_up, runs, timeouts, errors):
         futures, finish = self._launch(ctx, runnable)
         stalled = False
+        obs, recorder = _obs_of(ctx)
         for (key, indices), future in zip(runnable, futures):
             states = [ctx.states[index] for index in indices]
             deadlines = [state.deadline for state in states]
@@ -536,7 +585,10 @@ class Execute:
             if deadlines and all(deadline is not None for deadline in deadlines):
                 wait_seconds = max(0.0, max(deadlines) - clock())
             try:
-                result, seconds = future.result(timeout=wait_seconds)
+                # Workers return ``(result, seconds)`` or, when observability
+                # is on, ``(result, seconds, extra)`` — a profile summary from
+                # a thread worker, or a metrics-delta dict from a process one.
+                outcome = future.result(timeout=wait_seconds)
             except FuturesTimeoutError:
                 future.cancel()
                 stalled = True
@@ -548,10 +600,34 @@ class Execute:
                 errors += len(indices)
                 self._note_failure(exc)
                 continue
+            result, seconds = outcome[0], outcome[1]
+            extra = outcome[2] if len(outcome) > 2 else None
             runs += 1
+            if obs is not None:
+                profile = extra
+                merged = False
+                if isinstance(extra, dict) and "metrics" in extra:
+                    # A process worker already counted its run into a local
+                    # registry; merging the snapshot adds those increments
+                    # here, so the parent must not count the run again.
+                    obs.metrics.merge(extra["metrics"])
+                    profile = extra.get("profile")
+                    merged = True
+                self._record_run(
+                    ctx, obs, recorder, indices, result, seconds, profile, merged=merged
+                )
             timeouts += self._deliver(ctx, key, indices, result, seconds, clock)
         finish(stalled)
         return runs, timeouts, errors
+
+    def _record_run(
+        self, ctx, obs, recorder, indices, result, seconds, profile, merged=False
+    ) -> None:
+        """Count one finished optimiser run and attach its span."""
+        if not merged:
+            obs.record_gso_run(ctx.states[indices[0]].request.model, result, profile)
+        if recorder is not None:
+            recorder.run_span(indices, seconds, result, profile)
 
     def _note_failure(self, exc: BaseException) -> None:
         """Hook for subclasses to react to run failures (e.g. a broken pool)."""

@@ -235,6 +235,61 @@ class ModelRegistry:
         """Per-tenant counter snapshots (name → :class:`ServiceStats`)."""
         return {name: self.get(name).stats for name in self.names()}
 
+    # ------------------------------------------------------------------ observability
+    def _observabilities(self) -> List:
+        """Each distinct :class:`~repro.obs.Observability` across tenants.
+
+        Kernels may share one bundle (tenant labels keep their series apart);
+        deduplication is by identity so a shared registry is scraped once.
+        """
+        seen: List = []
+        for name in self.names():
+            obs = self.get(name).observability
+            if obs is not None and not any(obs is known for known in seen):
+                seen.append(obs)
+        return seen
+
+    def render_metrics(self) -> str:
+        """Prometheus text over every tenant (the ``GET /metrics`` body).
+
+        One observability bundle renders directly; several distinct bundles
+        are merged via snapshot into a fresh registry.  Tenants *without*
+        observability still contribute: their :class:`ServiceStats` counters
+        are exposed as ``repro_service_stats`` gauges, so the endpoint is
+        never empty.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        observabilities = self._observabilities()
+        if len(observabilities) == 1:
+            merged = observabilities[0].metrics
+        else:
+            merged = MetricsRegistry()
+            for obs in observabilities:
+                merged.merge(obs.metrics.snapshot())
+        bare = [
+            name for name in self.names() if self.get(name).observability is None
+        ]
+        if bare:
+            stats_gauge = merged.gauge(
+                "repro_service_stats",
+                "ServiceKernel lifetime counters, by name.",
+                ("model", "counter"),
+            )
+            for name in bare:
+                for counter_name, value in self.get(name).stats.as_dict().items():
+                    if isinstance(value, (int, float)):
+                        stats_gauge.labels(name, counter_name).set(value)
+        return merged.render()
+
+    def find_trace(self, trace_id: str):
+        """A recorded trace as a JSON-safe dict, or ``None`` (``/trace/{id}``)."""
+        for obs in self._observabilities():
+            record = obs.tracer.get(trace_id)
+            if record is not None:
+                return record.to_dict()
+        return None
+
     # ------------------------------------------------------------------ lifecycle
     def close(self) -> None:
         """Release every tenant's execution resources (idempotent).

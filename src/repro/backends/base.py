@@ -26,8 +26,9 @@ in-memory reference (see ``docs/architecture.md``).
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
-from typing import List
+from typing import Dict, List
 
 import numpy as np
 
@@ -38,6 +39,55 @@ from repro.utils.rng import ensure_rng
 #: backend's mask-based scan paths (16M entries = 16 MB); larger batches are
 #: processed in region blocks of this size.
 MAX_MASK_ELEMENTS = 16_777_216
+
+
+class BackendCounters:
+    """Monotonic scan accounting attached to every :class:`DataBackend`.
+
+    ``scan_calls``/``gather_calls`` count primitive invocations
+    (:meth:`~DataBackend.scan_masks` / :meth:`~DataBackend.count` vs
+    :meth:`~DataBackend.gather`); ``regions_scanned`` counts the regions those
+    calls covered and ``rows_scanned`` the rows each scan had to consider
+    (``regions × N`` — every primitive is an exact full scan over the stored
+    rows unless an index prunes it, in which case the backend reports the
+    pruned row count).  A :class:`~repro.backends.sharded.ShardedBackend`
+    counts at the top level *and* on each sub-shard — its own counters
+    describe the logical scan, the shards' their physical share.
+
+    Exposed as ``repro_backend_*_total`` counters on ``/metrics`` via the
+    kernel collector; reading them never blocks a scan for more than a
+    counter increment.
+    """
+
+    __slots__ = ("_lock", "scan_calls", "gather_calls", "regions_scanned", "rows_scanned")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.scan_calls = 0
+        self.gather_calls = 0
+        self.regions_scanned = 0
+        self.rows_scanned = 0
+
+    def note_scan(self, regions: int, rows: int) -> None:
+        with self._lock:
+            self.scan_calls += 1
+            self.regions_scanned += regions
+            self.rows_scanned += rows
+
+    def note_gather(self, regions: int, rows: int) -> None:
+        with self._lock:
+            self.gather_calls += 1
+            self.regions_scanned += regions
+            self.rows_scanned += rows
+
+    def as_dict(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "scan_calls": self.scan_calls,
+                "gather_calls": self.gather_calls,
+                "regions_scanned": self.regions_scanned,
+                "rows_scanned": self.rows_scanned,
+            }
 
 
 class DataBackend(ABC):
@@ -54,6 +104,19 @@ class DataBackend(ABC):
     name: str = "abstract"
     out_of_core: bool = False
     parallel: bool = False
+
+    @property
+    def counters(self) -> BackendCounters:
+        """Scan accounting for this backend (created on first access).
+
+        Lazy because the ABC declares no ``__init__``; ``dict.setdefault`` is
+        atomic under the GIL, so two threads racing the first access share one
+        object.
+        """
+        counters = self.__dict__.get("_obs_counters")
+        if counters is None:
+            counters = self.__dict__.setdefault("_obs_counters", BackendCounters())
+        return counters
 
     # ------------------------------------------------------------------ introspection
     @property

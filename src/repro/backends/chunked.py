@@ -146,6 +146,7 @@ class ChunkedBackend(DataBackend):
     # ------------------------------------------------------------------ primitives
     def scan_masks(self, lowers: np.ndarray, uppers: np.ndarray) -> np.ndarray:
         lowers, uppers = self._check_corners(lowers, uppers)
+        self.counters.note_scan(lowers.shape[0], lowers.shape[0] * self.num_rows)
         masks = np.empty((lowers.shape[0], self.num_rows), dtype=bool)
         if lowers.shape[0] == 0:
             return masks
@@ -155,6 +156,7 @@ class ChunkedBackend(DataBackend):
 
     def count(self, lowers: np.ndarray, uppers: np.ndarray) -> np.ndarray:
         lowers, uppers = self._check_corners(lowers, uppers)
+        self.counters.note_scan(lowers.shape[0], lowers.shape[0] * self.num_rows)
         counts = np.zeros(lowers.shape[0], dtype=np.int64)
         for start, stop in self._region_blocks(lowers.shape[0]):
             for _, block_masks, _ in self._iter_row_blocks(
@@ -169,6 +171,7 @@ class ChunkedBackend(DataBackend):
             raise ValidationError(
                 f"backend {self.name!r} stores no target column; gather is unavailable"
             )
+        self.counters.note_gather(lowers.shape[0], lowers.shape[0] * self.num_rows)
         gathered: List[np.ndarray] = [None] * lowers.shape[0]  # type: ignore[list-item]
         for start, stop in self._region_blocks(lowers.shape[0]):
             pieces: List[List[np.ndarray]] = [[] for _ in range(stop - start)]

@@ -105,25 +105,23 @@ class NumpyBackend(DataBackend):
     # ------------------------------------------------------------------ primitives
     def scan_masks(self, lowers: np.ndarray, uppers: np.ndarray) -> np.ndarray:
         lowers, uppers = self._check_corners(lowers, uppers)
-        masks = np.empty((lowers.shape[0], self.num_rows), dtype=bool)
-        if lowers.shape[0] == 0:
-            return masks
-        if self._index is not None:
-            masks[:] = False
-            for row, indices in enumerate(self._index.query_many(lowers, uppers)):
-                masks[row, indices] = True
-            return masks
-        return block_mask_kernel(self._columns, lowers, uppers, masks)
+        # Full mask width even with an index: the (M, N) matrix covers N rows.
+        self.counters.note_scan(lowers.shape[0], lowers.shape[0] * self.num_rows)
+        return self._scan_block(lowers, uppers)
 
     def count(self, lowers: np.ndarray, uppers: np.ndarray) -> np.ndarray:
         lowers, uppers = self._check_corners(lowers, uppers)
         if lowers.shape[0] == 0:
+            self.counters.note_scan(0, 0)
             return np.empty(0, dtype=np.int64)
         if self._index is not None:
-            return np.asarray(
+            counts = np.asarray(
                 [indices.size for indices in self._index.query_many(lowers, uppers)],
                 dtype=np.int64,
             )
+            self.counters.note_scan(lowers.shape[0], int(counts.sum()))
+            return counts
+        self.counters.note_scan(lowers.shape[0], lowers.shape[0] * self.num_rows)
         counts = np.empty(lowers.shape[0], dtype=np.int64)
         for start, stop, masks in self._iter_mask_blocks(lowers, uppers):
             counts[start:stop] = masks.sum(axis=1, dtype=np.int64)
@@ -133,12 +131,18 @@ class NumpyBackend(DataBackend):
         lowers, uppers = self._check_corners(lowers, uppers)
         self._require_target_column()
         if lowers.shape[0] == 0:
+            self.counters.note_gather(0, 0)
             return []
         if self._index is not None:
-            return [
+            values = [
                 self._target[np.sort(indices)]
                 for indices in self._index.query_many(lowers, uppers)
             ]
+            self.counters.note_gather(
+                lowers.shape[0], sum(selected.size for selected in values)
+            )
+            return values
+        self.counters.note_gather(lowers.shape[0], lowers.shape[0] * self.num_rows)
         values: List[np.ndarray] = []
         for _, _, masks in self._iter_mask_blocks(lowers, uppers):
             values.extend(self._target[mask] for mask in masks)
@@ -170,18 +174,33 @@ class NumpyBackend(DataBackend):
             )
         if not statistic.count_only:
             self._require_target(statistic)
+        note = self.counters.note_scan if statistic.count_only else self.counters.note_gather
+        note(lowers.shape[0], lowers.shape[0] * self.num_rows)
         values = np.empty(lowers.shape[0], dtype=np.float64)
         for start, stop, masks in self._iter_mask_blocks(lowers, uppers):
             values[start:stop] = statistic.compute_batch_from_arrays(self._target, masks)
         return values
 
     # ------------------------------------------------------------------ internals
+    def _scan_block(self, lowers: np.ndarray, uppers: np.ndarray) -> np.ndarray:
+        """Mask computation shared by :meth:`scan_masks` and the blocked
+        iterators — no scan accounting, so a blocked caller counts once."""
+        masks = np.empty((lowers.shape[0], self.num_rows), dtype=bool)
+        if lowers.shape[0] == 0:
+            return masks
+        if self._index is not None:
+            masks[:] = False
+            for row, indices in enumerate(self._index.query_many(lowers, uppers)):
+                masks[row, indices] = True
+            return masks
+        return block_mask_kernel(self._columns, lowers, uppers, masks)
+
     def _iter_mask_blocks(self, lowers: np.ndarray, uppers: np.ndarray):
         """Yield ``(start, stop, masks)`` with at most MAX_MASK_ELEMENTS bools each."""
         block = max(1, MAX_MASK_ELEMENTS // max(self.num_rows, 1))
         for start in range(0, lowers.shape[0], block):
             stop = min(start + block, lowers.shape[0])
-            yield start, stop, self.scan_masks(lowers[start:stop], uppers[start:stop])
+            yield start, stop, self._scan_block(lowers[start:stop], uppers[start:stop])
 
     def _require_target_column(self) -> None:
         if self._target is None:

@@ -168,11 +168,14 @@ class ShardedBackend(DataBackend):
     # ------------------------------------------------------------------ primitives
     def scan_masks(self, lowers: np.ndarray, uppers: np.ndarray) -> np.ndarray:
         lowers, uppers = self._check_corners(lowers, uppers)
+        # Logical scan accounting; each shard also counts its physical share.
+        self.counters.note_scan(lowers.shape[0], lowers.shape[0] * self.num_rows)
         parts = self._map(lambda shard: shard.scan_masks(lowers, uppers))
         return np.concatenate(parts, axis=1)
 
     def count(self, lowers: np.ndarray, uppers: np.ndarray) -> np.ndarray:
         lowers, uppers = self._check_corners(lowers, uppers)
+        self.counters.note_scan(lowers.shape[0], lowers.shape[0] * self.num_rows)
         parts = self._map(lambda shard: shard.count(lowers, uppers))
         # Integer sums over disjoint shards are the unsharded counts exactly.
         return np.sum(parts, axis=0, dtype=np.int64)
@@ -183,6 +186,7 @@ class ShardedBackend(DataBackend):
             raise ValidationError(
                 f"backend {self.name!r} stores no target column; gather is unavailable"
             )
+        self.counters.note_gather(lowers.shape[0], lowers.shape[0] * self.num_rows)
         parts = self._map(lambda shard: shard.gather(lowers, uppers))
         # Shard order is row order (contiguous range partition), so the
         # concatenation is exactly the unsharded row-order gather.
@@ -216,6 +220,9 @@ class ShardedBackend(DataBackend):
             decomposition == "float" and self.merge == "stats"
         )
         if use_sufficient_stats:
+            # Sufficient-statistics merges never call self.gather, so the
+            # logical gather is accounted here (shards count their own).
+            self.counters.note_gather(lowers.shape[0], lowers.shape[0] * self.num_rows)
             # Shards reduce their own selections to sufficient statistics;
             # only O(num_shards) tuples per region cross the merge.
             parts = self._map(

@@ -139,6 +139,7 @@ class SQLiteBackend(DataBackend):
     # ------------------------------------------------------------------ primitives
     def scan_masks(self, lowers: np.ndarray, uppers: np.ndarray) -> np.ndarray:
         lowers, uppers = self._check_corners(lowers, uppers)
+        self.counters.note_scan(lowers.shape[0], lowers.shape[0] * self._num_rows)
         masks = np.zeros((lowers.shape[0], self._num_rows), dtype=bool)
         sql = f"SELECT rowid FROM data WHERE {self._where}"
         for row in range(lowers.shape[0]):
@@ -150,6 +151,7 @@ class SQLiteBackend(DataBackend):
 
     def count(self, lowers: np.ndarray, uppers: np.ndarray) -> np.ndarray:
         lowers, uppers = self._check_corners(lowers, uppers)
+        self.counters.note_scan(lowers.shape[0], lowers.shape[0] * self._num_rows)
         sql = f"SELECT COUNT(*) FROM data WHERE {self._where}"
         return np.asarray(
             [
@@ -165,6 +167,7 @@ class SQLiteBackend(DataBackend):
             raise ValidationError(
                 f"backend {self.name!r} stores no target column; gather is unavailable"
             )
+        self.counters.note_gather(lowers.shape[0], lowers.shape[0] * self._num_rows)
         sql = f"SELECT target FROM data WHERE {self._where} ORDER BY rowid"
         return [
             np.asarray(
@@ -194,6 +197,8 @@ class SQLiteBackend(DataBackend):
         self._require_target(statistic)
         aggregate = self._AGGREGATES.get(statistic.name)
         if aggregate is not None and not self.exact_reductions:
+            # Pushed-down aggregation never calls gather, so account here.
+            self.counters.note_gather(lowers.shape[0], lowers.shape[0] * self._num_rows)
             sql = f"SELECT {aggregate}, COUNT(target) FROM data WHERE {self._where}"
             values = np.empty(lowers.shape[0], dtype=np.float64)
             for row in range(lowers.shape[0]):

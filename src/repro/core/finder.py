@@ -218,8 +218,14 @@ class SuRF:
         query: RegionQuery,
         gso_parameters: Optional[GSOParameters] = None,
         max_proposals: Optional[int] = None,
+        profile_hook=None,
     ) -> RegionSearchResult:
-        """Mine regions satisfying ``query`` using the surrogate and GSO."""
+        """Mine regions satisfying ``query`` using the surrogate and GSO.
+
+        ``profile_hook`` (e.g. :class:`repro.obs.GSORunProfile`) is forwarded
+        to the optimiser for per-iteration profiling; it never touches the
+        RNG stream, so results are identical with or without it.
+        """
         self._check_fitted()
         start = time.perf_counter()
 
@@ -255,6 +261,7 @@ class SuRF:
             selection_weight=selection_weight,
             batch_selection_weight=batch_selection_weight,
             initial_positions=initial_positions,
+            profile_hook=profile_hook,
         )
         result = optimizer.run()
         proposals = proposals_from_result(

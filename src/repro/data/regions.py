@@ -138,7 +138,10 @@ class Region:
         union = self.union_volume(other)
         if union <= 0:
             return 0.0
-        return self.intersection_volume(other) / union
+        # intersection_volume multiplies overlap extents while volume()
+        # multiplies side lengths — different float op orders, so the ratio
+        # can land a few ulp above 1 for (near-)identical tiny regions.
+        return min(1.0, self.intersection_volume(other) / union)
 
     def clipped(self, lower: Sequence[float], upper: Sequence[float], min_half_length: float = 1e-9) -> "Region":
         """Return a copy clipped to the bounding box ``[lower, upper]``.

@@ -159,6 +159,14 @@ class GlowwormSwarmOptimizer:
         ``"reference"`` runs the per-particle loop.  Both produce bit-identical
         seeded trajectories; the reference implementation exists for the
         equivalence tests and the before/after microbenchmarks.
+    profile_hook:
+        Optional observer with an ``on_iteration(iteration, evaluations,
+        radii, fitness)`` method (e.g. :class:`repro.obs.GSORunProfile`),
+        called once per swarm iteration with the running evaluation count,
+        the decision radii and the fitness vector.  ``None`` (the default)
+        costs one ``is not None`` check per iteration — the hook never touches
+        the RNG stream, so seeded trajectories are identical with or without
+        it.
     """
 
     def __init__(
@@ -172,6 +180,7 @@ class GlowwormSwarmOptimizer:
         batch_selection_weight: Optional[Callable[[np.ndarray], np.ndarray]] = None,
         initial_positions: Optional[np.ndarray] = None,
         movement: str = "vectorized",
+        profile_hook=None,
     ):
         if movement not in ("vectorized", "reference"):
             raise ValidationError(
@@ -191,6 +200,7 @@ class GlowwormSwarmOptimizer:
         self.selection_weight = selection_weight
         self.batch_selection_weight = batch_selection_weight
         self._initial_positions = initial_positions
+        self.profile_hook = profile_hook
         self._evaluations = 0
 
     # ------------------------------------------------------------------ helpers
@@ -465,6 +475,7 @@ class GlowwormSwarmOptimizer:
         converged = False
         start = time.perf_counter()
 
+        hook = self.profile_hook
         iterations_done = 0
         for iteration in range(params.num_iterations):
             iterations_done = iteration + 1
@@ -485,6 +496,9 @@ class GlowwormSwarmOptimizer:
             feasible_fraction = float(np.mean(finite))
             mean_history.append(mean_fitness)
             feasible_history.append(feasible_fraction)
+
+            if hook is not None:
+                hook.on_iteration(iterations_done, self._evaluations, radii, fitness)
 
             # Early stopping: neither the swarm's mean fitness nor the fraction of
             # feasible particles has improved for ``convergence_patience`` iterations.

@@ -206,8 +206,13 @@ class TestLegacyEquivalence:
         modern_stats = modern_service.stats.as_dict()
         assert {key: modern_stats[key] for key in legacy_stats} == legacy_stats
         extra = set(modern_stats) - set(legacy_stats)
-        assert extra == {"throttled", "shed", "timeouts", "errors"}
-        assert all(modern_stats[key] == 0 for key in extra)
+        assert extra == {"throttled", "shed", "timeouts", "errors", "since_refresh"}
+        assert all(
+            modern_stats[key] == 0 for key in extra if key != "since_refresh"
+        )
+        # Never refreshed, so the since-refresh window is the lifetime view.
+        window = modern_stats["since_refresh"]
+        assert all(window[key] == legacy_stats[key] for key in legacy_stats)
 
     def test_refresh_hot_swap_matches_the_pr4_service(
         self, fitted_surf, burst, density_engine

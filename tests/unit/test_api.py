@@ -663,9 +663,32 @@ class TestCompatShim:
             "timeouts",
             "errors",
             "hit_rate",
+            "since_refresh",
         ]
         assert payload["hit_rate"] == pytest.approx(0.25)
         assert ServiceStats().as_dict()["hit_rate"] == 0.0
+
+    def test_stats_since_refresh_tracks_deltas_from_the_baseline(self):
+        from dataclasses import replace
+
+        before = ServiceStats(queries=10, cache_hits=4, cache_misses=6, gso_runs=6)
+        stats = ServiceStats(
+            queries=14,
+            cache_hits=7,
+            cache_misses=7,
+            gso_runs=7,
+            baseline=replace(before),
+        )
+        window = stats.as_dict()["since_refresh"]
+        assert window["queries"] == 4
+        assert window["cache_hits"] == 3
+        assert window["cache_misses"] == 1
+        assert window["gso_runs"] == 1
+        assert window["hit_rate"] == pytest.approx(3 / 4)
+        # Without a refresh the window is the lifetime view.
+        lifetime = ServiceStats(queries=4, cache_hits=1).as_dict()["since_refresh"]
+        assert lifetime["queries"] == 4
+        assert lifetime["hit_rate"] == pytest.approx(0.25)
 
 
 # --------------------------------------------------------------------------- serving under load
